@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction repository.
+
+.PHONY: install test bench examples validate report all clean
+
+install:
+	pip install -e ".[test]" || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+	@echo "all examples ran clean"
+
+validate:
+	python -m repro validate
+
+report:
+	python -m repro report > docs/RESULTS.md
+	@echo "wrote docs/RESULTS.md"
+
+all: test bench validate examples report
+
+clean:
+	rm -rf .pytest_cache benchmarks/_results .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper (or an
+ablation) and both prints and archives its rendered report under
+``benchmarks/_results/`` so the numbers survive pytest's capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+@pytest.fixture()
+def report():
+    """Callable fixture: report(name, text) prints and archives text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,55 @@
+"""Ablation — inter-module communication overhead across scales.
+
+The paper: the C<->B point-to-point exchange "constitutes only a small
+fraction (3% to 4% overhead per solver)" (section IV-C).  This bench
+measures the exchange cost fraction over node counts and interface
+buffer composition.
+"""
+
+from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro.apps.xpic.workload import build_workload
+from repro.bench import render_table
+from repro.hardware import build_deep_er_prototype
+
+STEPS = 200
+
+
+def run_all():
+    cfg = table2_setup(steps=STEPS)
+    runs = {}
+    for n in (1, 2, 4, 8):
+        runs[n] = run_experiment(
+            build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=n
+        )
+    return cfg, runs
+
+
+def test_comm_fraction(benchmark, report):
+    cfg, runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for n, r in runs.items():
+        wl = build_workload(cfg, n)
+        per_step = wl.fields_exchange_nbytes + wl.moments_exchange_nbytes
+        rows.append(
+            (
+                str(n),
+                f"{per_step / 1024:.0f} KiB",
+                f"{r.inter_module_comm_time:.3f}",
+                f"{r.comm_overhead_fraction * 100:.2f}%",
+            )
+        )
+    report(
+        "ablation_comm_fraction",
+        render_table(
+            ["Nodes/solver", "exchange/step", "comm time [s]", "fraction of total"],
+            rows,
+            title="C<->B interface-exchange overhead (paper: 'small fraction', 3-4%)",
+        ),
+    )
+    for n, r in runs.items():
+        assert 0 < r.comm_overhead_fraction < 0.08, n
+    # the exchanged volume per rank shrinks with the decomposition
+    assert (
+        build_workload(cfg, 8).fields_exchange_nbytes
+        < build_workload(cfg, 1).fields_exchange_nbytes
+    )

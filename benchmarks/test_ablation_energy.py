@@ -1,0 +1,62 @@
+"""Ablation — energy to solution of the three modes.
+
+Section I motivates the Booster with flop/s-per-Watt; this bench
+integrates node power over each mode's phase timeline.  Expected
+shape: the many-core Booster beats the Cluster on raw energy; the C+B
+partition wins the energy-delay product because idle-module power is
+cheap while the speedup is real.
+"""
+
+from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro.bench import render_table
+from repro.hardware import build_deep_er_prototype
+from repro.perfmodel import PowerModel
+
+STEPS = 200
+
+
+def run_all():
+    cfg = table2_setup(steps=STEPS)
+    out = {}
+    for mode in Mode:
+        r = run_experiment(build_deep_er_prototype(), mode, cfg, nodes_per_solver=1)
+        out[mode] = (r, r.energy_report())
+    return out
+
+
+def test_energy_to_solution(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for mode, (r, e) in results.items():
+        edp = e.energy_j * r.total_runtime
+        rows.append(
+            (
+                mode.value,
+                f"{r.total_runtime:.2f}",
+                f"{e.energy_j / 1e3:.2f}",
+                f"{e.mean_power_w:.0f}",
+                f"{edp / 1e3:.0f}",
+            )
+        )
+    report(
+        "ablation_energy",
+        render_table(
+            ["Mode", "time [s]", "energy [kJ]", "mean power [W]", "EDP [kJ*s]"],
+            rows,
+            title=f"Energy to solution, single node per solver ({STEPS} steps)",
+        ),
+    )
+    e = {m: results[m][1].energy_j for m in Mode}
+    t = {m: results[m][0].total_runtime for m in Mode}
+    # many-core energy advantage: Booster-only burns less than Cluster-only
+    assert e[Mode.BOOSTER] < e[Mode.CLUSTER]
+    # C+B: the fastest mode, and the best energy-delay product
+    edp = {m: e[m] * t[m] for m in Mode}
+    assert edp[Mode.CB] < edp[Mode.CLUSTER]
+    assert edp[Mode.CB] < edp[Mode.BOOSTER]
+    # the architectural efficiency gap that motivates the Booster
+    pm = PowerModel()
+    machine = build_deep_er_prototype()
+    gf_w_cluster = pm.peak_flops_per_watt(machine.cluster[0]) / 1e9
+    gf_w_booster = pm.peak_flops_per_watt(machine.booster[0]) / 1e9
+    assert gf_w_booster > 2.5 * gf_w_cluster

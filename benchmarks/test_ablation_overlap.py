@@ -1,0 +1,55 @@
+"""Ablation — non-blocking exchange + overlap vs blocking exchange.
+
+The paper stresses that the C<->B communications "are non blocking, and
+allow to overlap with non critical operations" (section IV-B).  This
+bench disables the overlap and measures what it was worth.
+"""
+
+from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro.bench import render_table
+from repro.hardware import build_deep_er_prototype
+
+STEPS = 200
+
+
+def run_pair(n):
+    cfg = table2_setup(steps=STEPS)
+    with_overlap = run_experiment(
+        build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=n, overlap=True
+    )
+    without = run_experiment(
+        build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=n, overlap=False
+    )
+    return with_overlap, without
+
+
+def test_overlap_ablation(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {n: run_pair(n) for n in (1, 4, 8)}, rounds=1, iterations=1
+    )
+    rows = []
+    for n, (w, wo) in results.items():
+        rows.append(
+            (
+                str(n),
+                f"{w.total_runtime:.2f}",
+                f"{wo.total_runtime:.2f}",
+                f"{(wo.total_runtime / w.total_runtime - 1) * 100:.2f}%",
+            )
+        )
+    report(
+        "ablation_overlap",
+        render_table(
+            ["Nodes/solver", "overlap [s]", "no overlap [s]", "slowdown"],
+            rows,
+            title=f"Overlap ablation: C+B mode, {STEPS} steps",
+        ),
+    )
+    for n, (w, wo) in results.items():
+        # serializing the non-critical operations always costs time
+        assert wo.total_runtime >= w.total_runtime * 0.999
+    # the benefit of overlap grows with scale (more hidden work per
+    # unit of step time at 8 nodes: I/O + migration + aux)
+    slow_1 = results[1][1].total_runtime / results[1][0].total_runtime
+    slow_8 = results[8][1].total_runtime / results[8][0].total_runtime
+    assert slow_8 > slow_1

@@ -1,0 +1,57 @@
+"""Ablation — solver placement direction.
+
+The paper's partition puts the field solver on the Cluster and the
+particle solver on the Booster because that matches code character to
+hardware (section IV-C).  This bench swaps the placement to show the
+partition direction is what wins, not partitioning per se.
+"""
+
+from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro.bench import render_table
+from repro.hardware import build_deep_er_prototype
+
+STEPS = 200
+
+
+def run_all():
+    cfg = table2_setup(steps=STEPS)
+    out = {}
+    out["C+B (paper placement)"] = run_experiment(
+        build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=1
+    )
+    out["C+B (swapped placement)"] = run_experiment(
+        build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=1, swap_placement=True
+    )
+    out["Cluster only"] = run_experiment(
+        build_deep_er_prototype(), Mode.CLUSTER, cfg, nodes_per_solver=1
+    )
+    out["Booster only"] = run_experiment(
+        build_deep_er_prototype(), Mode.BOOSTER, cfg, nodes_per_solver=1
+    )
+    return out
+
+
+def test_placement_ablation(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (name, f"{r.fields_time:.2f}", f"{r.particles_time:.2f}", f"{r.total_runtime:.2f}")
+        for name, r in results.items()
+    ]
+    report(
+        "ablation_placement",
+        render_table(
+            ["Configuration", "Fields [s]", "Particles [s]", "Total [s]"],
+            rows,
+            title=f"Placement ablation ({STEPS} steps, 1 node per solver)",
+        ),
+    )
+    good = results["C+B (paper placement)"].total_runtime
+    swapped = results["C+B (swapped placement)"].total_runtime
+    cluster = results["Cluster only"].total_runtime
+    booster = results["Booster only"].total_runtime
+    # the paper's placement is the best configuration
+    assert good < swapped
+    assert good < cluster and good < booster
+    # the swapped partition combines both solvers' *bad* nodes: it is
+    # the worst configuration of all
+    assert swapped > cluster and swapped > booster

@@ -1,0 +1,66 @@
+"""Ablation — weak scaling (per-node Table II workload held constant).
+
+Fig 8 is a strong-scaling study; the co-design codes also care about
+weak scaling ("cells per node 4096" reads naturally that way).  Here
+the global problem grows with the node count, so runtime should stay
+near-flat and the C+B advantage should persist at every size.
+"""
+
+from repro.apps.xpic import Mode, XpicConfig, run_experiment
+from repro.bench import render_series
+from repro.hardware import build_deep_er_prototype
+
+STEPS = 100
+
+
+def weak_config(n):
+    """n nodes per solver, 4096 cells and 2048 ppc *per node*."""
+    return XpicConfig(nx=64, ny=64 * n, ly=float(n), steps=STEPS)
+
+
+def run_all():
+    out = {}
+    for mode in Mode:
+        for n in (1, 2, 4, 8):
+            machine = build_deep_er_prototype()
+            out[(mode, n)] = run_experiment(
+                machine, mode, weak_config(n), nodes_per_solver=n
+            )
+    return out
+
+
+def test_weak_scaling(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    ns = [1, 2, 4, 8]
+    report(
+        "ablation_weak_scaling",
+        render_series(
+            "Nodes/solver",
+            ns,
+            {
+                m.value: [results[(m, n)].total_runtime for n in ns]
+                for m in Mode
+            },
+            title=f"Weak scaling: runtime [s] with constant per-node load "
+            f"({STEPS} steps)",
+            fmt="{:.2f}",
+        ),
+    )
+    for mode in Mode:
+        t1 = results[(mode, 1)].total_runtime
+        for n in ns:
+            tn = results[(mode, n)].total_runtime
+            # near-flat: weak-scaling efficiency above ~85%
+            assert tn < 1.18 * t1, (mode, n)
+            assert tn > 0.95 * t1, (mode, n)
+    # the partition keeps winning at every size
+    for n in ns:
+        cb = results[(Mode.CB, n)].total_runtime
+        assert cb < results[(Mode.CLUSTER, n)].total_runtime
+        assert cb < results[(Mode.BOOSTER, n)].total_runtime
+    gains = [
+        results[(Mode.CLUSTER, n)].total_runtime
+        / results[(Mode.CB, n)].total_runtime
+        for n in ns
+    ]
+    assert max(gains) / min(gains) < 1.15  # roughly constant gain

@@ -1,0 +1,56 @@
+"""Ablation — monolithic applications pick one module (section IV).
+
+"Other applications tested on the DEEP-ER prototype are of rather
+monolithic nature, meaning that they run either on the Cluster or the
+Booster, alone."  The seismic FDTD quantifies why: its stream-bound
+stencil belongs on the Booster whole, and forcing a Cluster-Booster
+split on it (shipping the wavefield each step) backfires.
+"""
+
+from repro.apps.seismic import SeismicPlacement, run_seismic
+from repro.bench import render_table
+from repro.hardware import build_deep_er_prototype
+
+CELLS = 4096 * 16
+STEPS = 200
+
+
+def run_all():
+    out = {}
+    for placement in SeismicPlacement:
+        out[placement] = run_seismic(
+            build_deep_er_prototype(), placement, cells=CELLS, steps=STEPS
+        )
+    return out
+
+
+def test_monolithic_placement(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (
+            p.value,
+            f"{r.total_runtime * 1e3:.2f}",
+            f"{r.comm_fraction * 100:.1f}%",
+        )
+        for p, r in results.items()
+    ]
+    report(
+        "app_seismic",
+        render_table(
+            ["Placement", "runtime [ms]", "comm fraction"],
+            rows,
+            title=(
+                f"Seismic FDTD ({CELLS} cells, {STEPS} steps): a monolithic "
+                "code's placement options"
+            ),
+        ),
+    )
+    t = {p: r.total_runtime for p, r in results.items()}
+    # the stream-bound stencil belongs on the Booster...
+    assert t[SeismicPlacement.BOOSTER] < t[SeismicPlacement.CLUSTER]
+    assert (
+        t[SeismicPlacement.CLUSTER] / t[SeismicPlacement.BOOSTER] > 2.0
+    )  # MCDRAM vs DDR4
+    # ...and splitting it across modules is the worst option
+    assert t[SeismicPlacement.SPLIT] > t[SeismicPlacement.CLUSTER]
+    assert results[SeismicPlacement.SPLIT].comm_fraction > 0.5

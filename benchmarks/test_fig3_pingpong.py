@@ -1,0 +1,86 @@
+"""Fig 3 — End-to-end MPI bandwidth and latency on the fabric.
+
+Ping-pong between Cluster nodes (CN-CN), Booster nodes (BN-BN) and
+across modules (CN-BN), over the simulated ParaStation MPI.  The
+paper's shape: small-message latency ordered CN-CN < CN-BN < BN-BN
+(1.0 / ~1.4 / 1.8 us), all three bandwidth curves converging to the
+~10 GB/s fabric plateau for large messages.
+"""
+
+import pytest
+
+from repro.bench import (
+    fig3_series,
+    fig3_sizes_bandwidth,
+    fig3_sizes_latency,
+    render_series,
+)
+from repro.hardware import build_deep_er_prototype, presets
+
+
+def run_fig3():
+    machine = build_deep_er_prototype()
+    lat = fig3_series(machine, fig3_sizes_latency())
+    bw = fig3_series(build_deep_er_prototype(), fig3_sizes_bandwidth())
+    return lat, bw
+
+
+def test_fig3_bandwidth_and_latency(benchmark, report):
+    lat, bw = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+
+    lat_sizes = fig3_sizes_latency()
+    report(
+        "fig3_latency",
+        render_series(
+            "Bytes",
+            lat_sizes,
+            {
+                name: [p.latency_s * 1e6 for p in pts]
+                for name, pts in lat.items()
+            },
+            title="Fig 3 (bottom): MPI latency [us] vs message size",
+        ),
+    )
+    bw_sizes = fig3_sizes_bandwidth()
+    report(
+        "fig3_bandwidth",
+        render_series(
+            "Bytes",
+            bw_sizes,
+            {
+                name: [p.bandwidth_bps / 1e6 for p in pts]
+                for name, pts in bw.items()
+            },
+            title="Fig 3 (top): MPI bandwidth [MByte/s] vs message size",
+        ),
+    )
+
+    # --- latency shape ----------------------------------------------------
+    lat0 = {name: pts[0].latency_s for name, pts in lat.items()}
+    # Table I anchors: 1.0 us CN-CN, 1.8 us BN-BN; CN-BN in between.
+    assert lat0["CN-CN"] == pytest.approx(presets.CLUSTER_MPI_LATENCY_S, rel=0.05)
+    assert lat0["BN-BN"] == pytest.approx(presets.BOOSTER_MPI_LATENCY_S, rel=0.05)
+    assert lat0["CN-CN"] < lat0["CN-BN"] < lat0["BN-BN"]
+    # latency is flat for small messages, grows for large ones
+    for pts in lat.values():
+        assert pts[4].latency_s < 1.5 * pts[0].latency_s
+        assert pts[-1].latency_s > 2 * pts[0].latency_s
+
+    # --- bandwidth shape ----------------------------------------------------
+    for name, pts in bw.items():
+        top = max(p.bandwidth_bps for p in pts)
+        # large-message plateau near 10 GB/s on the 12.5 GB/s link
+        assert 8.5e9 < top < 12.5e9, name
+        # monotone growth up to the eager threshold region
+        small = [p.bandwidth_bps for p in pts[:12]]
+        assert all(a < b for a, b in zip(small, small[1:])), name
+    # small-message ordering: CN-CN > CN-BN > BN-BN (single-thread perf)
+    idx = 8  # 256 B
+    assert (
+        bw["CN-CN"][idx].bandwidth_bps
+        > bw["CN-BN"][idx].bandwidth_bps
+        > bw["BN-BN"][idx].bandwidth_bps
+    )
+    # curves converge at large sizes: within 10% of each other
+    finals = [pts[-1].bandwidth_bps for pts in bw.values()]
+    assert max(finals) / min(finals) < 1.1

@@ -1,0 +1,63 @@
+"""Fig 7 — Single-node runtime of xPic and its constituents.
+
+Runs both solvers on one Cluster node, one Booster node, and in the
+partitioned C+B mode (field solver on the Cluster node, particle solver
+on the Booster node).  Paper shape to reproduce:
+
+* field solver ~6x faster on the Cluster,
+* particle solver ~1.35x faster on the Booster,
+* C+B beats Cluster-only (paper: 1.28x) and Booster-only (1.21x),
+* the C-B exchange is a small overhead (3-4% per solver).
+"""
+
+import pytest
+
+from repro.apps.xpic import Mode
+from repro.bench import FIG78_STEPS, render_table, run_fig7
+
+
+def test_fig7_runtime_bars(benchmark, report):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    rows = []
+    for mode in Mode:
+        r = result.runs[mode]
+        rows.append(
+            (
+                mode.value,
+                f"{r.fields_time:.2f}",
+                f"{r.particles_time:.2f}",
+                f"{r.total_runtime:.2f}",
+                f"{r.comm_overhead_fraction * 100:.2f}%",
+            )
+        )
+    rows.append(("", "", "", "", ""))
+    rows.append(
+        ("C+B gain vs Cluster", "", "", f"{result.gain_vs_cluster:.3f}x", "paper: 1.28x")
+    )
+    rows.append(
+        ("C+B gain vs Booster", "", "", f"{result.gain_vs_booster:.3f}x", "paper: 1.21x")
+    )
+    report(
+        "fig7",
+        render_table(
+            ["Mode", "Fields [s]", "Particles [s]", "Total [s]", "C-B comm"],
+            rows,
+            title=f"Fig 7: single-node xPic runtimes ({FIG78_STEPS} steps)",
+        ),
+    )
+
+    runs = result.runs
+    # C+B wins against both homogeneous modes
+    assert runs[Mode.CB].total_runtime < runs[Mode.CLUSTER].total_runtime
+    assert runs[Mode.CB].total_runtime < runs[Mode.BOOSTER].total_runtime
+    # gains in a band around the paper's 1.28 / 1.21
+    assert 1.15 < result.gain_vs_cluster < 1.50
+    assert 1.10 < result.gain_vs_booster < 1.45
+    # node-level placement facts
+    assert 5.0 < result.field_cluster_advantage < 7.0  # paper: ~6x
+    assert 1.2 < result.particle_booster_advantage < 1.5  # paper: ~1.35x
+    # "a small fraction (3% to 4% overhead per solver)"
+    assert runs[Mode.CB].comm_overhead_fraction < 0.06
+    # absolute scale: tens of seconds, like the paper's bars (0-45 s)
+    for r in runs.values():
+        assert 5.0 < r.total_runtime < 60.0

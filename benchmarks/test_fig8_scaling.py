@@ -1,0 +1,79 @@
+"""Fig 8 — Scaling results (runtime and parallel efficiency).
+
+Strong scaling of the Table II workload over 1, 2, 4, 8 nodes per
+solver for the three modes.  Paper shape to reproduce:
+
+* runtime falls with node count for all modes,
+* the C+B gain grows with node count (paper: 1.38x vs Cluster and
+  1.34x vs Booster at 8 nodes),
+* parallel efficiency ordering at 8 nodes: C+B (85%) > Cluster (79%)
+  > Booster (77%).
+"""
+
+import pytest
+
+from repro.apps.xpic import Mode
+from repro.bench import FIG78_STEPS, render_series, run_fig8
+
+
+def test_fig8_runtime_and_efficiency(benchmark, report):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    ns = result.node_counts
+
+    report(
+        "fig8_runtime",
+        render_series(
+            "Nodes/solver",
+            ns,
+            {m.value: [result.runtime(m, n) for n in ns] for m in Mode},
+            title=f"Fig 8 (top): xPic runtime [s] ({FIG78_STEPS} steps)",
+            fmt="{:.2f}",
+        ),
+    )
+    report(
+        "fig8_efficiency",
+        render_series(
+            "Nodes/solver",
+            ns,
+            {m.value: [result.efficiency(m, n) for n in ns] for m in Mode},
+            title="Fig 8 (bottom): parallel efficiency",
+            fmt="{:.3f}",
+        ),
+    )
+    report(
+        "fig8_gains",
+        render_series(
+            "Nodes/solver",
+            ns,
+            {
+                "gain vs Cluster": [result.gain(Mode.CLUSTER, n) for n in ns],
+                "gain vs Booster": [result.gain(Mode.BOOSTER, n) for n in ns],
+            },
+            title="C+B performance gain (paper at n=8: 1.38x / 1.34x)",
+            fmt="{:.3f}",
+        ),
+    )
+
+    # runtime decreases with node count, every mode
+    for mode in Mode:
+        times = [result.runtime(mode, n) for n in ns]
+        assert all(a > b for a, b in zip(times, times[1:])), mode
+
+    # the C+B gain increases with the number of nodes
+    assert result.gain(Mode.CLUSTER, 8) > result.gain(Mode.CLUSTER, 1)
+    assert result.gain(Mode.BOOSTER, 8) > result.gain(Mode.BOOSTER, 1)
+    # gain bands around the paper's 8-node numbers
+    assert 1.25 < result.gain(Mode.CLUSTER, 8) < 1.55
+    assert 1.25 < result.gain(Mode.BOOSTER, 8) < 1.60
+
+    # efficiency ordering at 8 nodes: C+B > Cluster > Booster
+    eff = {m: result.efficiency(m, 8) for m in Mode}
+    assert eff[Mode.CB] > eff[Mode.CLUSTER] > eff[Mode.BOOSTER]
+    # bands around the paper's 85 / 79 / 77 %
+    assert 0.75 <= eff[Mode.CB] <= 0.92
+    assert 0.72 <= eff[Mode.CLUSTER] <= 0.88
+    assert 0.68 <= eff[Mode.BOOSTER] <= 0.84
+    # efficiency is monotone non-increasing in node count
+    for mode in Mode:
+        effs = [result.efficiency(mode, n) for n in ns]
+        assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:])), mode

@@ -1,0 +1,82 @@
+"""Ablation — adaptive scheduling of malleable jobs (ref [5]).
+
+The DEEP batch system supports malleable applications; this bench
+quantifies the throughput gain of adaptive resizing over rigid
+allocations on a fragmented job stream.
+"""
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.hardware import build_deep_er_prototype
+from repro.jobs import AdaptiveScheduler, MalleableJob
+from repro.sim import Simulator
+
+N_JOBS = 30
+
+
+def job_stream(seed=5):
+    rng = np.random.default_rng(seed)
+    jobs = []
+    t = 0.0
+    for i in range(N_JOBS):
+        t += float(rng.exponential(600.0))
+        work = float(rng.exponential(4.0 * 3600.0)) + 600.0
+        max_n = int(rng.integers(2, 11))
+        min_n = max(1, max_n // 4)
+        jobs.append(
+            MalleableJob(f"j{i}", work, min_nodes=min_n, max_nodes=max_n,
+                         submit_time=t)
+        )
+    return jobs
+
+
+def run_policy(adaptive):
+    sim = Simulator()
+    machine = build_deep_er_prototype()
+    sched = AdaptiveScheduler(
+        sim, machine.cluster, reconfig_cost_s=30.0, adaptive=adaptive
+    )
+    sched.submit_all(job_stream())
+    sim.run()
+    resizes = sum(j.resize_count for j in sched.jobs)
+    return sched, resizes
+
+
+def test_adaptive_vs_rigid(benchmark, report):
+    (adaptive, res_a), (rigid, res_r) = benchmark.pedantic(
+        lambda: (run_policy(True), run_policy(False)), rounds=1, iterations=1
+    )
+    rows = [
+        (
+            "adaptive (malleable)",
+            f"{adaptive.makespan / 3600:.2f}",
+            f"{adaptive.mean_wait() / 3600:.2f}",
+            str(res_a),
+        ),
+        (
+            "rigid",
+            f"{rigid.makespan / 3600:.2f}",
+            f"{rigid.mean_wait() / 3600:.2f}",
+            str(res_r),
+        ),
+        (
+            "adaptive advantage",
+            f"{rigid.makespan / adaptive.makespan:.2f}x",
+            "(waits eliminated)" if adaptive.mean_wait() < 1.0
+            else f"{rigid.mean_wait() / adaptive.mean_wait():.2f}x",
+            "",
+        ),
+    ]
+    report(
+        "malleable_scheduling",
+        render_table(
+            ["Policy", "makespan [h]", "mean wait [h]", "resizes"],
+            rows,
+            title=f"Adaptive vs rigid scheduling of {N_JOBS} malleable jobs "
+            "on 16 Cluster nodes",
+        ),
+    )
+    assert adaptive.makespan < rigid.makespan
+    assert adaptive.mean_wait() < rigid.mean_wait()
+    assert res_a > 0 and res_r == 0

@@ -1,0 +1,41 @@
+"""Table I — Hardware configuration of the DEEP-ER prototype.
+
+Regenerates the table from the live machine model and checks every row
+against the paper's values.
+"""
+
+from repro.bench import render_table
+from repro.hardware import build_deep_er_prototype, table1_rows
+
+
+def test_table1_hardware_configuration(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: table1_rows(build_deep_er_prototype()), rounds=1, iterations=1
+    )
+    report(
+        "table1",
+        render_table(
+            ["Feature", "Cluster", "Booster"],
+            rows,
+            title="Table I: Hardware configuration of the DEEP-ER prototype",
+        ),
+    )
+    d = {feature: (c, b) for feature, c, b in rows}
+    assert d["Processor"] == ("Intel Xeon E5-2680 v3", "Intel Xeon Phi 7210")
+    assert d["Microarchitecture"] == ("Haswell", "Knights Landing (KNL)")
+    assert d["Sockets per node"] == ("2", "1")
+    assert d["Cores per node"] == ("24", "64")
+    assert d["Threads per node"] == ("48", "256")
+    assert d["Frequency"] == ("2.5 GHz", "1.3 GHz")
+    assert d["NVMe capacity"] == ("400 GB", "400 GB")
+    assert d["Interconnect"] == ("EXTOLL Tourmalet A3", "EXTOLL Tourmalet A3")
+    assert d["Max. link bandwidth"] == ("100 Gbit/s", "100 Gbit/s")
+    assert d["MPI latency"] == ("1.0 us", "1.8 us")
+    assert d["Node count"] == ("16", "8")
+    # Table I rounds peak performance to 16 / 20 TFlop/s.
+    peak_c = float(d["Peak performance"][0].split()[0])
+    peak_b = float(d["Peak performance"][1].split()[0])
+    assert abs(peak_c - 16) / 16 < 0.10
+    assert abs(peak_b - 20) / 20 < 0.10
+    assert "MCDRAM" in d["Memory (RAM)"][1]
+    assert "DDR4" in d["Memory (RAM)"][0]

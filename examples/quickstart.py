@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: build the DEEP-ER prototype, run xPic in all three modes.
+
+This reproduces the headline experiment of the paper (Fig 7) in about a
+second of wall time: the same Table II workload executed on one Cluster
+node, one Booster node, and partitioned across one of each (C+B).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro.hardware import build_deep_er_prototype, table1_rows
+
+
+def main():
+    # --- the machine: Table I of the paper ------------------------------
+    machine = build_deep_er_prototype()
+    print("The simulated DEEP-ER prototype:")
+    print(f"  {len(machine.cluster)} Cluster nodes (Haswell), "
+          f"{len(machine.booster)} Booster nodes (KNL),")
+    print(f"  {len(machine.storage)} storage servers, "
+          f"{len(machine.nams)} NAM devices, one EXTOLL fabric.")
+    lat_cc = machine.fabric.latency("cn00", "cn01") * 1e6
+    lat_bb = machine.fabric.latency("bn00", "bn01") * 1e6
+    print(f"  MPI latency: {lat_cc:.1f} us (Cluster), {lat_bb:.1f} us (Booster)")
+    print()
+
+    # --- the workload: Table II ------------------------------------------
+    config = table2_setup(steps=500)
+    print(f"xPic workload: {config.cells} cells/node, "
+          f"{config.particles_per_cell} particles/cell, {config.steps} steps")
+    print()
+
+    # --- the three modes of Fig 7 ----------------------------------------
+    results = {}
+    for mode in (Mode.CLUSTER, Mode.BOOSTER, Mode.CB):
+        machine = build_deep_er_prototype()  # fresh machine per run
+        results[mode] = run_experiment(machine, mode, config, nodes_per_solver=1)
+
+    print(f"{'Mode':10s} {'Fields [s]':>11s} {'Particles [s]':>14s} {'Total [s]':>10s}")
+    for mode, r in results.items():
+        print(f"{mode.value:10s} {r.fields_time:11.2f} "
+              f"{r.particles_time:14.2f} {r.total_runtime:10.2f}")
+    print()
+
+    gain_c = results[Mode.CLUSTER].total_runtime / results[Mode.CB].total_runtime
+    gain_b = results[Mode.BOOSTER].total_runtime / results[Mode.CB].total_runtime
+    print(f"C+B performance gain vs Cluster-only: {gain_c:.2f}x (paper: 1.28x)")
+    print(f"C+B performance gain vs Booster-only: {gain_b:.2f}x (paper: 1.21x)")
+    print(f"Inter-module exchange overhead: "
+          f"{results[Mode.CB].comm_overhead_fraction * 100:.1f}% "
+          "(paper: 'a small fraction', 3-4% per solver)")
+
+
+if __name__ == "__main__":
+    main()

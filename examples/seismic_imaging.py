@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""A monolithic co-design application: seismic wave propagation.
+
+Propagates a Ricker-wavelet shot through a two-layer medium with the
+real FDTD numerics, renders a wavefield snapshot in ASCII, and then
+shows the placement economics on the prototype: a tightly-coupled
+stencil picks its best module (the Booster) and stays there — trying
+to partition it the xPic way backfires.
+
+Run:  python examples/seismic_imaging.py
+"""
+
+import numpy as np
+
+from repro.apps.seismic import (
+    AcousticWave2D,
+    SeismicPlacement,
+    ricker_wavelet,
+    run_seismic,
+)
+from repro.hardware import build_deep_er_prototype
+
+
+def ascii_wavefield(p, width=72, height=24):
+    """Coarse ASCII rendering of the wavefield amplitude."""
+    ny, nx = p.shape
+    glyphs = " .:-=+*#%@"
+    rows = []
+    amax = np.max(np.abs(p)) or 1.0
+    for j in range(height):
+        row = []
+        for i in range(width):
+            v = abs(p[j * ny // height, i * nx // width]) / amax
+            row.append(glyphs[min(int(v * (len(glyphs) - 1) * 3), len(glyphs) - 1)])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def main():
+    # --- the physics -------------------------------------------------------
+    nx = ny = 192
+    # a two-layer earth model: slow overburden above a fast basement;
+    # the Ricker shot reflects off the velocity contrast
+    model = np.ones((ny, nx))
+    model[2 * ny // 3 :, :] = 2.0
+    w = AcousticWave2D(nx, ny, dx=0.1, velocity=model, sponge_cells=16,
+                       sponge_strength=0.15)
+    t = np.arange(300) * w.dt
+    src = 3000.0 * ricker_wavelet(t, peak_frequency=0.5)
+    for k in range(300):
+        w.step(source=(nx // 2, ny // 3, src[k]))
+    print(f"wavefield after {w.step_count} steps in the layered medium "
+          f"(energy {w.wavefield_energy():.2f}; the lower-third basement "
+          "is 2x faster):\n")
+    print(ascii_wavefield(w.p))
+    print()
+
+    # --- the placement economics -----------------------------------------
+    print("placement on the prototype (4096*16 cells, 200 steps):")
+    for placement in SeismicPlacement:
+        r = run_seismic(
+            build_deep_er_prototype(), placement, cells=4096 * 16, steps=200
+        )
+        note = {
+            SeismicPlacement.CLUSTER: "DDR4-bound",
+            SeismicPlacement.BOOSTER: "MCDRAM streams (the right home)",
+            SeismicPlacement.SPLIT: "wavefield shuttling across modules",
+        }[placement]
+        print(f"  {placement.value:8s}: {r.total_runtime * 1e3:8.2f} ms "
+              f"(comm {r.comm_fraction * 100:4.1f}%)  <- {note}")
+    print("\nmonolithic codes pick one module; partitioning is for codes "
+          "with separable phases like xPic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Two-stream instability: the classic kinetic-plasma validation case.
+
+Two cold counter-drifting electron beams over a neutralizing ion
+background are unstable: electrostatic waves grow exponentially by
+feeding on the beams' drift energy until the beams trap and
+thermalize.  Watching xPic reproduce this (exponential field-energy
+growth + kinetic-energy depletion + saturation) validates that the
+field<->particle coupling through the interface buffers is physical —
+the same coupling the Cluster-Booster partition ships over the fabric.
+
+Run:  python examples/two_stream_instability.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.apps.xpic import SpeciesConfig, XpicConfig, XpicSimulation
+
+
+def two_stream_config(steps=150):
+    return XpicConfig(
+        nx=64,
+        ny=4,
+        lx=2 * math.pi,
+        ly=0.4,
+        dt=0.05,
+        steps=steps,
+        species=(
+            SpeciesConfig("e_right", -1.0, 1.0, 32,
+                          thermal_velocity=0.005, drift_velocity=(0.2, 0, 0)),
+            SpeciesConfig("e_left", -1.0, 1.0, 32,
+                          thermal_velocity=0.005, drift_velocity=(-0.2, 0, 0)),
+            SpeciesConfig("ions", +2.0, 1836.0, 32, thermal_velocity=5e-4),
+        ),
+        seed=3,
+    )
+
+
+def phase_space_portrait(sim, width=72, height=20):
+    """ASCII density plot of electron (x, vx) phase space.
+
+    Before saturation: two flat bands (the beams).  After: the classic
+    two-stream vortex 'eye' where particles are trapped by the wave.
+    """
+    import numpy as np
+
+    xs = np.concatenate([sp.x for sp in sim.species[:2]])
+    vs = np.concatenate([sp.v[0] for sp in sim.species[:2]])
+    vmax = 1.1 * float(np.max(np.abs(vs))) or 1.0
+    grid = np.zeros((height, width))
+    ix = np.clip((xs / sim.grid.lx * width).astype(int), 0, width - 1)
+    iv = np.clip(((vs + vmax) / (2 * vmax) * height).astype(int), 0, height - 1)
+    np.add.at(grid, (iv, ix), 1.0)
+    glyphs = " .:+*#@"
+    gmax = grid.max() or 1.0
+    lines = []
+    for row in grid[::-1]:  # +v at the top
+        lines.append(
+            "".join(
+                glyphs[min(int(v / gmax * (len(glyphs) - 1) * 2),
+                           len(glyphs) - 1)]
+                for v in row
+            )
+        )
+    return "\n".join(lines)
+
+
+def main():
+    sim = XpicSimulation(two_stream_config())
+    print("two counter-streaming electron beams (v = ±0.2), "
+          f"{sum(sp.n for sp in sim.species)} macro-particles\n")
+    print(f"{'step':>4s} {'E_field':>11s} {'E_kinetic':>11s}   field-energy bar")
+    fe0 = None
+    history = []
+    for i in range(sim.config.steps):
+        d = sim.step()
+        history.append(d)
+        if fe0 is None:
+            fe0 = d.field_energy
+        if d.step % 10 == 0:
+            bar = "#" * int(max(0.0, 8 + math.log10(d.field_energy / fe0) * 4))
+            print(f"{d.step:4d} {d.field_energy:11.4e} "
+                  f"{d.kinetic_energy:11.4e}   {bar}")
+
+    fes = [d.field_energy for d in history]
+    kes = [d.kinetic_energy for d in history]
+    growth = max(fes[:100]) / fes[4]
+    print(f"\nlinear phase: field energy grew {growth:.0f}x "
+          f"(exponential instability)")
+    print(f"beam kinetic energy: {kes[0]:.4f} -> {min(kes):.4f} "
+          f"({100 * (1 - min(kes) / kes[0]):.0f}% fed into the wave)")
+    # estimate the growth rate from the early exponential phase
+    lo, hi = 8, 40
+    gamma = (math.log(fes[hi]) - math.log(fes[lo])) / (
+        2 * (hi - lo) * sim.config.dt
+    )  # field ENERGY grows at 2*gamma
+    wp = math.sqrt(4 * math.pi * 2.0)  # total electron density = 2
+    print(f"measured growth rate: {gamma:.3f} = {gamma / wp:.3f} w_p "
+          "(cold-beam theory: ~0.35 w_p at the fastest-growing mode)")
+    print("\nphase space (x, vx) after saturation — the trapped-particle "
+          "vortices:\n")
+    print(phase_space_portrait(sim))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Weibel (filamentation) instability: the electromagnetic validation.
+
+Counter-streaming electron populations along z carry no net current,
+but the slightest magnetic ripple bunches them into current filaments
+whose fields reinforce the ripple: magnetic field grows exponentially
+out of noise, feeding on the velocity-space anisotropy, and saturates
+when the beams are magnetically trapped.
+
+The two-stream case validated xPic's electrostatics; this one
+validates the full electromagnetic loop (current deposition ->
+Faraday/Ampere -> magnetic push).  Exactly the physics that makes
+space-weather simulation demand an electromagnetic code.
+
+Run:  python examples/weibel_instability.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.apps.xpic import SpeciesConfig, XpicConfig, XpicSimulation
+
+
+def weibel_config(steps=200):
+    return XpicConfig(
+        nx=32,
+        ny=32,
+        lx=2 * math.pi,
+        ly=2 * math.pi,
+        dt=0.04,
+        steps=steps,
+        species=(
+            SpeciesConfig("e_up", -1.0, 1.0, 16,
+                          thermal_velocity=0.01, drift_velocity=(0, 0, 0.25)),
+            SpeciesConfig("e_down", -1.0, 1.0, 16,
+                          thermal_velocity=0.01, drift_velocity=(0, 0, -0.25)),
+            SpeciesConfig("ions", +2.0, 1836.0, 16, thermal_velocity=1e-3),
+        ),
+        seed=7,
+    )
+
+
+def main():
+    sim = XpicSimulation(weibel_config())
+    print("two electron populations counter-streaming along z "
+          "(out of the simulation plane)\n")
+    print(f"{'step':>4s} {'B^2':>11s} {'E^2':>11s} {'<vz^2>':>9s}   B-energy bar")
+    b0 = None
+    b_hist = []
+    for i in range(sim.config.steps):
+        sim.step()
+        b2 = float(np.sum(sim.fields.B**2))
+        e2 = float(np.sum(sim.fields.E**2))
+        b_hist.append(b2)
+        if b0 is None and b2 > 0:
+            b0 = b2
+        if (i + 1) % 20 == 0:
+            vz2 = float(np.mean(np.concatenate(
+                [sp.v[2] for sp in sim.species[:2]]) ** 2))
+            bar = "#" * int(max(0.0, 4 + math.log10(b2 / b0) * 5))
+            print(f"{i + 1:4d} {b2:11.4e} {e2:11.4e} {vz2:9.5f}   {bar}")
+
+    growth = max(b_hist) / b_hist[4]
+    print(f"\nmagnetic energy grew {growth:.0f}x out of shot noise, "
+          "then saturated (filament trapping)")
+    vz2_final = float(np.mean(np.concatenate(
+        [sp.v[2] for sp in sim.species[:2]]) ** 2))
+    print(f"beam anisotropy consumed: <vz^2> fell from 0.0626 to "
+          f"{vz2_final:.4f}")
+    # the filament structure: Bx, By dominate Bz (k in plane, J along z)
+    bxy = float(np.sum(sim.fields.B[0] ** 2 + sim.fields.B[1] ** 2))
+    bz = float(np.sum(sim.fields.B[2] ** 2))
+    print(f"in-plane B carries {100 * bxy / (bxy + bz):.0f}% of the "
+          "magnetic energy (current filaments along z)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Tutorial: writing your own partitioned application on the machine.
+
+Builds a small heat-diffusion solver from the library's MPI toolbox —
+Cartesian communicators for neighbour addressing, persistent requests
+for the per-step halo exchange, an RMA window for one-sided progress
+monitoring, and MPI-IO for the final collective dump — and runs it
+domain-decomposed on Booster nodes.  The physics is verified against
+exact invariants (heat conservation, variance growth = 2 D t).
+
+Run:  python examples/writing_partitioned_apps.py
+"""
+
+import numpy as np
+
+from repro.hardware import build_deep_er_prototype
+from repro.io import BeeGFS
+from repro.mpi import (
+    MODE_CREATE,
+    MODE_WRONLY,
+    File,
+    MPIRuntime,
+    Window,
+    cart_create,
+)
+
+N_RANKS = 4
+CELLS = 256  # global 1D rod
+STEPS = 400
+D = 0.1  # diffusivity
+DX = 1.0
+DT = 0.4 * DX * DX / D  # stable explicit step
+
+
+def heat_app(ctx, fs, report):
+    comm = ctx.world
+    cart = cart_create(comm, dims=(N_RANKS,), periods=[True])
+    rank = comm.rank
+    local_n = CELLS // N_RANKS
+    x0 = rank * local_n
+
+    # initial condition: a hot spike in the middle of the rod
+    u = np.zeros(local_n + 2)  # one ghost on each side
+    spike = CELLS // 2
+    if x0 <= spike < x0 + local_n:
+        u[spike - x0 + 1] = 100.0
+
+    # persistent halo channels: set up once, started every step
+    left_src, right_dst = cart.shift(0)
+    send_right = comm.send_init(dest=right_dst, tag=1)
+    send_left = comm.send_init(dest=left_src, tag=2)
+    recv_left = comm.recv_init(source=left_src, tag=1)
+    recv_right = comm.recv_init(source=right_dst, tag=2)
+
+    # an RMA window where rank 0 can watch everyone's progress
+    win = yield from Window.allocate(comm, 8)
+    yield from win.fence()
+
+    alpha = D * DT / DX**2
+    for step in range(STEPS):
+        reqs = [
+            send_right.start(u[-2].copy()),
+            send_left.start(u[1].copy()),
+            recv_left.start(),
+            recv_right.start(),
+        ]
+        u[0] = yield reqs[2].wait()
+        u[-1] = yield reqs[3].wait()
+        yield reqs[0].wait()
+        yield reqs[1].wait()
+        u[1:-1] += alpha * (u[2:] - 2 * u[1:-1] + u[:-2])
+        if step % 100 == 0:  # publish progress one-sidedly
+            yield from win.lock(rank)
+            yield from win.put(np.array([float(step)]), rank)
+            win.unlock(rank)
+
+    # collective output of the final temperature field
+    fh = yield from File.open(comm, fs, "rod.bin", MODE_WRONLY | MODE_CREATE)
+    yield from fh.write_at_all(local_n * 8)
+    yield from fh.close()
+
+    # verification reductions
+    total = yield from comm.allreduce(float(u[1:-1].sum()))
+    xs = np.arange(x0, x0 + local_n, dtype=float)
+    m1 = yield from comm.allreduce(float((u[1:-1] * xs).sum()))
+    m2 = yield from comm.allreduce(float((u[1:-1] * xs**2).sum()))
+    mean = m1 / total
+    var = m2 / total - mean**2
+    if rank == 0:
+        report["total"] = total
+        report["mean"] = mean
+        report["var"] = var
+        report["file_size"] = fh.size()
+    return float(u[1:-1].max())
+
+
+def main():
+    machine = build_deep_er_prototype()
+    fs = BeeGFS(machine)
+    rt = MPIRuntime(machine)
+    report = {}
+    peaks = rt.run_app(
+        lambda c: heat_app(c, fs, report), machine.booster[:N_RANKS]
+    )
+
+    t = STEPS * DT
+    print(f"1D heat equation, {CELLS} cells over {N_RANKS} Booster nodes, "
+          f"{STEPS} steps (t = {t:.0f})\n")
+    print(f"heat conserved:      {report['total']:.6f} (initial 100)")
+    print(f"centre of mass:      {report['mean']:.2f} (spike at {CELLS // 2})")
+    print(f"variance:            {report['var']:.1f} "
+          f"(theory 2 D t = {2 * D * t:.1f})")
+    print(f"peak temperatures:   {[f'{p:.2f}' for p in peaks]}")
+    print(f"collective output:   rod.bin, {report['file_size']} bytes "
+          f"({CELLS} float64)")
+    print(f"simulated wall time: {machine.sim.now * 1e3:.2f} ms")
+
+    assert abs(report["total"] - 100.0) < 1e-9
+    assert abs(report["mean"] - CELLS // 2) < 1.0
+    assert abs(report["var"] - 2 * D * t) / (2 * D * t) < 0.05
+    print("\nall invariants hold — the partitioned solver is correct.")
+
+
+if __name__ == "__main__":
+    main()

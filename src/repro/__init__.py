@@ -1,0 +1,26 @@
+"""repro — reproduction of "Application performance on a Cluster-Booster
+system" (Kreuzer, Eicker, Amaya, Suarez; IPDPS Workshops 2018).
+
+The package models the DEEP-ER prototype in software and reimplements
+the full stack the paper describes:
+
+* :mod:`repro.sim`        — discrete-event simulation engine
+* :mod:`repro.hardware`   — Table I node/machine models
+* :mod:`repro.network`    — EXTOLL-like fabric (Fig 3)
+* :mod:`repro.mpi`        — ParaStation-like global MPI with spawn (Fig 4)
+* :mod:`repro.perfmodel`  — roofline/Amdahl kernel cost model
+* :mod:`repro.jobs`       — modular resource management
+* :mod:`repro.ompss`      — OmpSs-like task offload + resiliency
+* :mod:`repro.io`         — BeeGFS / BeeOND / SIONlib models
+* :mod:`repro.resiliency` — SCR-like multi-level checkpoint/restart
+* :mod:`repro.nam`        — network attached memory
+* :mod:`repro.apps.xpic`  — the xPic PIC application (Figs 5-8)
+* :mod:`repro.bench`      — benchmark harnesses per table/figure
+"""
+
+__version__ = "1.0.0"
+
+from .hardware import Machine, build_deep_er_prototype
+from .sim import Simulator
+
+__all__ = ["Simulator", "Machine", "build_deep_er_prototype", "__version__"]

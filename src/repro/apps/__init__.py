@@ -1,0 +1,1 @@
+"""Co-design applications (section IV).  Currently: xPic."""

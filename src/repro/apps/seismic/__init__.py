@@ -1,0 +1,18 @@
+"""Seismic imaging substrate: a *monolithic* co-design application.
+
+The counterpoint to xPic (section IV): a single tightly-coupled
+stencil kernel with no separable phases — it should pick its best
+module and stay there.
+"""
+
+from .driver import SeismicPlacement, SeismicResult, run_seismic, stencil_kernel
+from .kernel import AcousticWave2D, ricker_wavelet
+
+__all__ = [
+    "AcousticWave2D",
+    "ricker_wavelet",
+    "SeismicPlacement",
+    "SeismicResult",
+    "run_seismic",
+    "stencil_kernel",
+]

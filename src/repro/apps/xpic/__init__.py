@@ -1,0 +1,51 @@
+"""xPic: the Space Weather particle-in-cell co-design application.
+
+A real 2D implicit-moment PIC implementation (field solver + particle
+solver coupled through interface buffers, Fig 5 of the paper) plus the
+partitioned drivers that run it across the simulated Cluster-Booster
+machine in the paper's three evaluation modes.
+"""
+
+from .config import SpeciesConfig, XpicConfig, table2_setup
+from .driver import Mode, RunResult, run_experiment
+from .fields import FieldSolver, conjugate_gradient
+from .grid import Grid2D
+from .interface import (
+    fields_nbytes,
+    moments_nbytes,
+    pack_fields,
+    pack_moments,
+    unpack_fields,
+    unpack_moments,
+)
+from .moments import deposit_moments, deposit_scalar, interpolate
+from .particles import Species, maxwellian_species
+from .simulation import StepDiagnostics, XpicSimulation
+from .workload import StepWorkload, build_workload
+
+__all__ = [
+    "XpicConfig",
+    "SpeciesConfig",
+    "table2_setup",
+    "Mode",
+    "RunResult",
+    "run_experiment",
+    "FieldSolver",
+    "conjugate_gradient",
+    "Grid2D",
+    "Species",
+    "maxwellian_species",
+    "XpicSimulation",
+    "StepDiagnostics",
+    "StepWorkload",
+    "build_workload",
+    "deposit_moments",
+    "deposit_scalar",
+    "interpolate",
+    "pack_fields",
+    "unpack_fields",
+    "pack_moments",
+    "unpack_moments",
+    "fields_nbytes",
+    "moments_nbytes",
+]

@@ -1,0 +1,110 @@
+"""xPic run configuration.
+
+Defaults reproduce Table II ("xPic experiment setup"): 4096 cells per
+node and 2048 particles per cell.  Physics parameters are normalized
+(plasma units: c = 1, qe/me = -1), as usual for implicit-moment PIC
+codes like iPic3D, from which xPic descends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["SpeciesConfig", "XpicConfig", "table2_setup"]
+
+
+@dataclass(frozen=True)
+class SpeciesConfig:
+    """One plasma species (e.g. electrons or ions)."""
+
+    name: str
+    charge: float  # signed charge per macro-particle unit
+    mass: float
+    particles_per_cell: int
+    thermal_velocity: float = 0.05
+    drift_velocity: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def __post_init__(self):
+        if self.mass <= 0:
+            raise ValueError("mass must be positive")
+        if self.particles_per_cell < 0:
+            raise ValueError("particles_per_cell cannot be negative")
+
+
+def _default_species() -> List[SpeciesConfig]:
+    """Two-species plasma (electrons + ions), 1024 ppc each = 2048 total
+    particles per cell (Table II)."""
+    return [
+        SpeciesConfig("electrons", charge=-1.0, mass=1.0, particles_per_cell=1024),
+        SpeciesConfig("ions", charge=+1.0, mass=100.0, particles_per_cell=1024),
+    ]
+
+
+@dataclass(frozen=True)
+class XpicConfig:
+    """Full configuration of an xPic run.
+
+    ``nx x ny`` is the *global* grid; Table II's "4096 cells per node"
+    corresponds to a 64x64 grid per node.
+    """
+
+    nx: int = 64
+    ny: int = 64
+    lx: float = 1.0
+    ly: float = 1.0
+    dt: float = 0.1
+    steps: int = 10
+    theta: float = 0.5  # implicit decentering parameter
+    c: float = 1.0  # normalized speed of light
+    cg_tol: float = 1e-8
+    cg_max_iters: int = 200
+    species: Tuple[SpeciesConfig, ...] = field(
+        default_factory=lambda: tuple(_default_species())
+    )
+    seed: int = 20180521  # IPDPSW 2018 :-)
+
+    def __post_init__(self):
+        if self.nx < 2 or self.ny < 2:
+            raise ValueError("grid must be at least 2x2")
+        if self.lx <= 0 or self.ly <= 0:
+            raise ValueError("domain lengths must be positive")
+        if self.dt <= 0 or self.steps < 0:
+            raise ValueError("dt must be positive, steps non-negative")
+        if not 0.0 <= self.theta <= 1.0:
+            raise ValueError("theta must be in [0, 1]")
+        if not self.species:
+            raise ValueError("at least one species required")
+
+    @property
+    def cells(self) -> int:
+        """Total grid cells (Table II: 4096 per node)."""
+        return self.nx * self.ny
+
+    @property
+    def particles_per_cell(self) -> int:
+        """Macro-particles per cell summed over species (Table II: 2048)."""
+        return sum(s.particles_per_cell for s in self.species)
+
+    @property
+    def total_particles(self) -> int:
+        """Total macro-particles in the run."""
+        return self.cells * self.particles_per_cell
+
+    @property
+    def nspec(self) -> int:
+        """Number of plasma species."""
+        return len(self.species)
+
+
+def table2_setup(steps: int = 500, nodes_per_solver: int = 1) -> XpicConfig:
+    """The evaluation workload of Table II, scaled to a node count.
+
+    The single-node experiment (Fig 7) uses 4096 cells and 2048
+    particles per cell on one node; the scaling runs of Fig 8 keep the
+    same *global* problem (strong scaling — the paper's runtimes fall
+    with node count).
+    """
+    if nodes_per_solver < 1:
+        raise ValueError("need at least one node per solver")
+    return XpicConfig(nx=64, ny=64, steps=steps)

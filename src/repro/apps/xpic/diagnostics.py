@@ -1,0 +1,92 @@
+"""Physics diagnostics for xPic runs.
+
+The "auxiliary computations" the paper's main loop overlaps with
+communication (Listings 2/3) are exactly these: energy bookkeeping,
+spectra, velocity-distribution moments.  They are also what a space-
+weather forecaster actually looks at.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .particles import Species
+from .simulation import XpicSimulation
+
+__all__ = [
+    "field_spectrum",
+    "dominant_mode",
+    "velocity_histogram",
+    "velocity_moments",
+    "energy_budget",
+]
+
+
+def field_spectrum(field: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Power spectrum |F_k|^2 of one field component along an axis,
+    averaged over the other dimension.  Returns modes 0..N/2."""
+    if field.ndim != 2:
+        raise ValueError("expected a 2D field component")
+    f_hat = np.fft.rfft(field, axis=axis)
+    power = np.abs(f_hat) ** 2
+    other_axis = 0 if axis in (-1, 1) else 1
+    return power.mean(axis=other_axis)
+
+
+def dominant_mode(field: np.ndarray, axis: int = -1) -> int:
+    """Index of the strongest non-zero Fourier mode (the wave the
+    instability selected)."""
+    spectrum = field_spectrum(field, axis=axis)
+    if len(spectrum) < 2:
+        raise ValueError("field too small for a mode analysis")
+    return int(np.argmax(spectrum[1:]) + 1)
+
+
+def velocity_histogram(
+    species: Sequence[Species],
+    component: int = 0,
+    bins: int = 50,
+    v_range: Tuple[float, float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Weighted velocity distribution f(v) of one component.
+
+    Returns (bin_centres, density).
+    """
+    if not 0 <= component < 3:
+        raise ValueError("velocity component must be 0, 1 or 2")
+    vs = np.concatenate([sp.v[component] for sp in species])
+    ws = np.concatenate([np.full(sp.n, sp.weight) for sp in species])
+    if v_range is None:
+        vmax = 1.1 * float(np.max(np.abs(vs))) or 1.0
+        v_range = (-vmax, vmax)
+    counts, edges = np.histogram(vs, bins=bins, range=v_range, weights=ws)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    width = edges[1] - edges[0]
+    return centres, counts / max(width, 1e-300)
+
+
+def velocity_moments(species: Sequence[Species]) -> Dict[str, float]:
+    """Mean drift and thermal spread of a species set (x component)."""
+    vs = np.concatenate([sp.v[0] for sp in species])
+    ws = np.concatenate([np.full(sp.n, sp.weight) for sp in species])
+    total_w = float(np.sum(ws))
+    mean = float(np.sum(ws * vs) / total_w)
+    var = float(np.sum(ws * (vs - mean) ** 2) / total_w)
+    return {"drift": mean, "thermal": float(np.sqrt(var))}
+
+
+def energy_budget(sim: XpicSimulation) -> Dict[str, float]:
+    """Where the energy lives right now."""
+    field = sim.fields.field_energy()
+    kinetic = sum(sp.kinetic_energy() for sp in sim.species)
+    e2 = 0.5 * sim.grid.dx * sim.grid.dy * float(np.sum(sim.fields.E**2))
+    b2 = 0.5 * sim.grid.dx * sim.grid.dy * float(np.sum(sim.fields.B**2))
+    return {
+        "field": field,
+        "electric": e2,
+        "magnetic": b2,
+        "kinetic": kinetic,
+        "total": field + kinetic,
+    }

@@ -1,0 +1,498 @@
+"""Partitioned xPic drivers on the simulated Cluster-Booster machine.
+
+Implements the three execution modes of the paper's evaluation
+(section IV):
+
+* ``CLUSTER`` — both solvers run on Cluster nodes (Listing 1 on CNs);
+* ``BOOSTER`` — both solvers run on Booster nodes;
+* ``CB``      — the Cluster-Booster mode of Listings 2/3: the particle
+  solver runs on Booster nodes, spawns the field solver onto Cluster
+  nodes via ``MPI_Comm_spawn``, and the two exchange interface buffers
+  through the inter-communicator with non-blocking sends overlapped by
+  auxiliary computations.
+
+The drivers execute the *structure* of the main loop on the simulated
+machine: compute phases are charged through the calibrated kernel cost
+model, and every message crosses the fabric model at its physical size.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...hardware.machine import Machine
+from ...mpi import Bytes, Comm, MPIRuntime, RankContext
+from ...sim.trace import Tracer
+from .config import XpicConfig
+from .workload import (
+    IO_EVERY_STEPS,
+    StepWorkload,
+    build_workload,
+    migration_nbytes,
+)
+
+__all__ = ["Mode", "RunResult", "run_experiment"]
+
+TAG_FIELDS = 101
+TAG_MOMENTS = 102
+TAG_MOMENTS_INIT = 103
+TAG_TIMERS = 104
+
+
+class Mode(str, enum.Enum):
+    """Execution mode of the evaluation (Fig 7/8 series labels)."""
+
+    CLUSTER = "Cluster"
+    BOOSTER = "Booster"
+    CB = "C+B"
+
+
+@dataclass
+class RankTimers:
+    """Per-rank phase accounting."""
+
+    fields: float = 0.0
+    particles: float = 0.0
+    inter_module_comm: float = 0.0
+    start: float = 0.0
+    end: float = 0.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one experiment run (one bar/point of Fig 7/8)."""
+
+    mode: Mode
+    nodes_per_solver: int
+    steps: int
+    total_runtime: float
+    fields_time: float
+    particles_time: float
+    inter_module_comm_time: float
+
+    @property
+    def comm_overhead_fraction(self) -> float:
+        """Inter-module communication overhead relative to total time
+        (the paper's "3% to 4% overhead per solver")."""
+        if self.total_runtime == 0:
+            return 0.0
+        return self.inter_module_comm_time / self.total_runtime
+
+    def energy_report(self, power_model=None):
+        """Energy-to-solution of this run (section I: energy efficiency
+        is the architecture's motivation).
+
+        Homogeneous modes keep their nodes busy for the whole run; in
+        C+B mode the Cluster nodes are busy only during the field
+        phases (plus exchange) and idle while the Booster computes, and
+        vice versa.
+        """
+        from ...hardware.node import NodeKind
+        from ...perfmodel.power import PowerModel
+
+        pm = power_model or PowerModel()
+        n = self.nodes_per_solver
+        T = self.total_runtime
+        if self.mode is Mode.CLUSTER:
+            busy = {NodeKind.CLUSTER: {f"cn{i:02d}": T for i in range(n)}}
+        elif self.mode is Mode.BOOSTER:
+            busy = {NodeKind.BOOSTER: {f"bn{i:02d}": T for i in range(n)}}
+        else:
+            cluster_busy = min(T, self.fields_time + self.inter_module_comm_time)
+            booster_busy = min(T, self.particles_time + self.inter_module_comm_time)
+            busy = {
+                NodeKind.CLUSTER: {f"cn{i:02d}": cluster_busy for i in range(n)},
+                NodeKind.BOOSTER: {f"bn{i:02d}": booster_busy for i in range(n)},
+            }
+        return pm.run_energy(T, busy)
+
+
+def _exchange_transfer_time(ctx: RankContext, inter: Comm, partner: int, nbytes: int) -> float:
+    """Modeled wire time of one inter-module interface-buffer exchange.
+
+    Used for the "comm overhead per solver" accounting: the wait a rank
+    observes on a recv also contains pipeline dependency (waiting for
+    the other solver to *produce* the data), which is not communication
+    overhead; the fabric's message cost is.
+    """
+    peer = inter.remote.proc(partner).node.node_id
+    return ctx.runtime.fabric.transfer_time(peer, ctx.node.node_id, nbytes)
+
+
+def _allreduce_latency_estimate(ctx: RankContext, comm: Comm) -> float:
+    """Analytic cost of one small allreduce in this rank's group.
+
+    Used to charge the CG dot-product reductions without simulating
+    each of the ~60 per step as discrete events (one per step *is*
+    simulated so skew stays emergent; the rest are charged here).
+    """
+    n = comm.size
+    if n <= 1:
+        return 0.0
+    fabric = ctx.runtime.fabric
+    peer = comm.group.proc((ctx.world.rank + 1) % n).node.node_id
+    rounds = math.ceil(math.log2(n))
+    return rounds * fabric.latency(ctx.node.node_id, peer)
+
+
+def _field_phase(ctx, comm: Comm, wl: StepWorkload):
+    """calculateE + intra-solver communication (halo + CG reductions)."""
+    yield from ctx.execute(wl.field_kernel)
+    n = comm.size
+    if n > 1:
+        up, down = (comm.rank + 1) % n, (comm.rank - 1) % n
+        yield from comm.sendrecv(
+            Bytes(wl.field_halo_nbytes), dest=up, source=down, sendtag=1, recvtag=1
+        )
+        yield from comm.sendrecv(
+            Bytes(wl.field_halo_nbytes), dest=down, source=up, sendtag=2, recvtag=2
+        )
+        yield from comm.allreduce(0.0)
+        remaining = wl.field_allreduce_count - 1
+        yield ctx.compute(remaining * _allreduce_latency_estimate(ctx, comm))
+
+
+def _particle_compute(ctx, comm: Comm, wl: StepWorkload):
+    """ParticlesMove + ParticleMoments, with per-rank load imbalance."""
+    kernel = wl.particle_kernel.scaled(wl.imbalance_factor(comm.rank))
+    yield from ctx.execute(kernel)
+
+
+def _moment_halo(ctx, comm: Comm, wl: StepWorkload):
+    """Halo-add of boundary moment rows (needed before the field solve)."""
+    n = comm.size
+    if n > 1:
+        up, down = (comm.rank + 1) % n, (comm.rank - 1) % n
+        yield from comm.sendrecv(
+            Bytes(wl.moment_halo_nbytes), dest=up, source=down, sendtag=3, recvtag=3
+        )
+        yield from comm.sendrecv(
+            Bytes(wl.moment_halo_nbytes), dest=down, source=up, sendtag=4, recvtag=4
+        )
+
+
+def _migration(ctx, comm: Comm, wl: StepWorkload):
+    """Exchange of particles that left the slab (next step's inputs)."""
+    n = comm.size
+    if n > 1:
+        nbytes = migration_nbytes(wl)
+        up, down = (comm.rank + 1) % n, (comm.rank - 1) % n
+        yield from comm.sendrecv(
+            Bytes(nbytes), dest=up, source=down, sendtag=5, recvtag=5
+        )
+        yield from comm.sendrecv(
+            Bytes(nbytes), dest=down, source=up, sendtag=6, recvtag=6
+        )
+
+
+def _rebalance(ctx, comm: Comm, wl: StepWorkload, step: int):
+    """Dynamic load balancing (extension): every ``rebalance_every``
+    steps the hot slab ships its excess particles to a neighbour and
+    the decomposition is recomputed (an allreduce of counts)."""
+    n = comm.size
+    if not wl.load_balanced or n == 1:
+        return
+    if (step + 1) % wl.rebalance_every != 0:
+        return
+    yield from comm.allreduce(0.0)  # agree on the new partition
+    up = (comm.rank + 1) % n
+    down = (comm.rank - 1) % n
+    yield from comm.sendrecv(
+        Bytes(wl.rebalance_nbytes), dest=up, source=down,
+        sendtag=7, recvtag=7,
+    )
+
+
+# --------------------------------------------------------------------------
+# Homogeneous modes: both solvers per step on the same allocation
+# (the paper runs them sequentially on the same nodes; total = sum).
+# --------------------------------------------------------------------------
+def _homogeneous_app(ctx: RankContext, cfg: XpicConfig, wl: StepWorkload):
+    comm = ctx.world
+    timers = RankTimers()
+    yield from comm.barrier()
+    timers.start = ctx.sim.now
+    for step in range(cfg.steps):
+        # ---- field solver ------------------------------------------------
+        t0 = ctx.sim.now
+        yield from _field_phase(ctx, comm, wl)
+        timers.fields += ctx.sim.now - t0
+        # ---- particle solver ----------------------------------------------
+        t0 = ctx.sim.now
+        yield from _particle_compute(ctx, comm, wl)
+        yield from _moment_halo(ctx, comm, wl)
+        yield from _migration(ctx, comm, wl)
+        yield from _rebalance(ctx, comm, wl, step)
+        # auxiliary computations, diagnostics and output — all on the
+        # critical path, since the same nodes must run everything
+        yield from ctx.execute(wl.aux_field_kernel)
+        yield from ctx.execute(wl.aux_particle_kernel)
+        yield from comm.allreduce(0.0)  # energy diagnostics reduction
+        if (step + 1) % IO_EVERY_STEPS == 0:
+            yield ctx.compute(wl.io_snapshot_time())
+        timers.particles += ctx.sim.now - t0
+    timers.end = ctx.sim.now
+    return timers
+
+
+# --------------------------------------------------------------------------
+# Cluster-Booster mode (Listings 2 and 3)
+# --------------------------------------------------------------------------
+def _rec(tracer, ctx, actor, label, t0):
+    """Record a traced interval ending now (no-op without a tracer)."""
+    if tracer is not None and ctx.sim.now > t0:
+        tracer.record(actor, label, t0, ctx.sim.now)
+
+
+def _cluster_field_app(
+    ctx: RankContext,
+    cfg: XpicConfig,
+    wl: StepWorkload,
+    overlap: bool = True,
+    tracer: Tracer = None,
+):
+    """Listing 2: the field solver, spawned onto the Cluster.
+
+    ``overlap=False`` replaces the non-blocking exchange + overlapped
+    auxiliary work with blocking sends (the overlap ablation).
+    """
+    world = ctx.world
+    inter = ctx.get_parent()
+    partner = world.rank  # 1:1 pairing of cluster and booster ranks
+    actor = f"CN{world.rank}"
+    timers = RankTimers()
+    # initial moments so the first calculateE has sources
+    t0 = ctx.sim.now
+    yield from inter.recv(source=partner, tag=TAG_MOMENTS_INIT)
+    timers.inter_module_comm += ctx.sim.now - t0
+    yield from world.barrier()
+    timers.start = ctx.sim.now
+    for step in range(cfg.steps):
+        # fld.solver->calculateE()
+        t0 = ctx.sim.now
+        yield from _field_phase(ctx, world, wl)
+        timers.fields += ctx.sim.now - t0
+        _rec(tracer, ctx, actor, "fields", t0)
+        if overlap:
+            # ClusterToBooster(): non-blocking send of the field buffer
+            req = inter.isend(
+                ctx.sim.now,
+                dest=partner,
+                tag=TAG_FIELDS,
+                nbytes=wl.fields_exchange_nbytes,
+            )
+            # Auxiliary computations overlapped with the send (Listing 2)
+            t0 = ctx.sim.now
+            yield from ctx.execute(wl.aux_field_kernel)
+            _rec(tracer, ctx, actor, "aux", t0)
+            t0 = ctx.sim.now
+            yield req.wait()  # ClusterWait(): unhidden part of the send
+            timers.inter_module_comm += ctx.sim.now - t0
+            _rec(tracer, ctx, actor, "xchg", t0)
+            # Output: in C+B mode the Cluster side holds the complete
+            # field and moment state and would otherwise idle while the
+            # Booster pushes particles, so the snapshot I/O hides in
+            # that window (one of the optimizations the partition
+            # enables; homogeneous mode pays it on the critical path).
+            if (step + 1) % IO_EVERY_STEPS == 0:
+                t0 = ctx.sim.now
+                yield ctx.compute(wl.io_snapshot_time())
+                _rec(tracer, ctx, actor, "io", t0)
+        else:
+            # Ablation: no overlap — auxiliary work and output happen
+            # before the (blocking) send, extending the Booster's wait
+            # for the fields.
+            yield from ctx.execute(wl.aux_field_kernel)
+            if (step + 1) % IO_EVERY_STEPS == 0:
+                yield ctx.compute(wl.io_snapshot_time())
+            t0 = ctx.sim.now
+            yield from inter.send(
+                ctx.sim.now,
+                dest=partner,
+                tag=TAG_FIELDS,
+                nbytes=wl.fields_exchange_nbytes,
+            )
+            timers.inter_module_comm += ctx.sim.now - t0
+        # BoosterToCluster() + BoosterWait(): receive the moment buffer
+        t0 = ctx.sim.now
+        yield from inter.recv(source=partner, tag=TAG_MOMENTS)
+        timers.inter_module_comm += _exchange_transfer_time(
+            ctx, inter, partner, wl.moments_exchange_nbytes
+        )
+        _rec(tracer, ctx, actor, "wait", t0)
+        # fld.solver->calculateB(): cheap curl update, part of the
+        # field kernel accounting (folded into calculateE's kernel)
+    timers.end = ctx.sim.now
+    # ship this rank's timers to its booster partner for aggregation
+    yield from inter.send(timers, dest=partner, tag=TAG_TIMERS, nbytes=64)
+    return timers
+
+
+def _booster_particle_app(
+    ctx: RankContext,
+    cfg: XpicConfig,
+    wl: StepWorkload,
+    cluster_nodes: Sequence,
+    overlap: bool = True,
+    tracer: Tracer = None,
+):
+    """Listing 3: the particle solver on the Booster; spawns the
+    field solver onto the Cluster (section IV-B approach (1))."""
+    world = ctx.world
+    inter = yield from world.spawn(
+        lambda c: _cluster_field_app(c, cfg, wl, overlap=overlap, tracer=tracer),
+        cluster_nodes,
+        nprocs=world.size,
+        name="xpic-field-solver",
+    )
+    partner = world.rank
+    actor = f"BN{world.rank}"
+    timers = RankTimers()
+    # send initial moments
+    yield from inter.send(
+        Bytes(wl.moments_exchange_nbytes), dest=partner, tag=TAG_MOMENTS_INIT
+    )
+    yield from world.barrier()
+    timers.start = ctx.sim.now
+    for step in range(cfg.steps):
+        # ClusterToBooster() + ClusterWait(): receive fields.  The
+        # transfer cost is comm overhead; any wait beyond that is the
+        # pipeline dependency on the field solve, accounted to neither
+        # solver.
+        t0 = ctx.sim.now
+        yield from inter.recv(source=partner, tag=TAG_FIELDS)
+        timers.inter_module_comm += _exchange_transfer_time(
+            ctx, inter, partner, wl.fields_exchange_nbytes
+        )
+        _rec(tracer, ctx, actor, "wait", t0)
+        # pcl.cpyFromArr_F(); ParticlesMove(); ParticleMoments()
+        t0 = ctx.sim.now
+        yield from _particle_compute(ctx, world, wl)
+        # moment halo-add must complete before moments are shipped
+        yield from _moment_halo(ctx, world, wl)
+        timers.particles += ctx.sim.now - t0
+        _rec(tracer, ctx, actor, "particles", t0)
+        if overlap:
+            # BoosterToCluster(): non-blocking send of the moment buffer
+            req = inter.isend(
+                ctx.sim.now,
+                dest=partner,
+                tag=TAG_MOMENTS,
+                nbytes=wl.moments_exchange_nbytes,
+            )
+            # I/O and auxiliary computations overlapped (Listing 3), and
+            # the particle solver's own migration exchange also overlaps
+            # the cluster's next field solve
+            t0 = ctx.sim.now
+            yield from ctx.execute(wl.aux_particle_kernel)
+            yield from _migration(ctx, world, wl)
+            yield from world.allreduce(0.0)  # kinetic-energy diagnostics
+            _rec(tracer, ctx, actor, "aux", t0)
+            t0 = ctx.sim.now
+            yield req.wait()  # BoosterWait()
+            timers.inter_module_comm += ctx.sim.now - t0
+            _rec(tracer, ctx, actor, "xchg", t0)
+        else:
+            # Ablation: no overlap — the solver's own migration and
+            # auxiliary work run *before* the moments are shipped, so
+            # they land on the cluster's critical path.
+            yield from ctx.execute(wl.aux_particle_kernel)
+            yield from _migration(ctx, world, wl)
+            yield from world.allreduce(0.0)
+            t0 = ctx.sim.now
+            yield from inter.send(
+                ctx.sim.now,
+                dest=partner,
+                tag=TAG_MOMENTS,
+                nbytes=wl.moments_exchange_nbytes,
+            )
+            timers.inter_module_comm += ctx.sim.now - t0
+    timers.end = ctx.sim.now
+    cluster_timers = yield from inter.recv(source=partner, tag=TAG_TIMERS)
+    return (timers, cluster_timers)
+
+
+# --------------------------------------------------------------------------
+# Experiment runner
+# --------------------------------------------------------------------------
+def run_experiment(
+    machine: Machine,
+    mode: Mode,
+    config: XpicConfig,
+    nodes_per_solver: int = 1,
+    overlap: bool = True,
+    swap_placement: bool = False,
+    tracer: Optional[Tracer] = None,
+    load_balanced: bool = False,
+    imbalance_alpha: Optional[float] = None,
+) -> RunResult:
+    """Run one xPic experiment and return its timing breakdown.
+
+    ``nodes_per_solver`` follows Fig 8's x-axis: homogeneous modes use
+    that many nodes total; C+B uses that many Cluster nodes *and* that
+    many Booster nodes (one per solver side).
+
+    ``overlap=False`` (C+B only) disables the non-blocking exchange.
+    ``swap_placement=True`` (C+B only) inverts the partition — field
+    solver on the Booster, particle solver on the Cluster — the
+    placement ablation.
+    """
+    mode = Mode(mode)
+    n = nodes_per_solver
+    kwargs = {"load_balanced": load_balanced}
+    if imbalance_alpha is not None:
+        kwargs["imbalance_alpha"] = imbalance_alpha
+    wl = build_workload(config, n, **kwargs)
+    rt = MPIRuntime(machine)
+
+    if mode in (Mode.CLUSTER, Mode.BOOSTER):
+        nodes = machine.cluster[:n] if mode is Mode.CLUSTER else machine.booster[:n]
+        if len(nodes) < n:
+            raise ValueError(f"machine has only {len(nodes)} {mode.value} nodes")
+        timers = rt.run_app(lambda c: _homogeneous_app(c, config, wl), nodes)
+        return _aggregate(mode, n, config.steps, timers, [])
+
+    cluster_nodes = machine.cluster[:n]
+    booster_nodes = machine.booster[:n]
+    if len(cluster_nodes) < n or len(booster_nodes) < n:
+        raise ValueError("not enough nodes for C+B mode")
+    if swap_placement:
+        # particle solver on Cluster nodes, field solver on Booster nodes
+        cluster_nodes, booster_nodes = booster_nodes, cluster_nodes
+    pairs = rt.run_app(
+        lambda c: _booster_particle_app(
+            c, config, wl, cluster_nodes, overlap=overlap, tracer=tracer
+        ),
+        booster_nodes,
+    )
+    booster_timers = [p[0] for p in pairs]
+    cluster_timers = [p[1] for p in pairs]
+    return _aggregate(mode, n, config.steps, booster_timers, cluster_timers)
+
+
+def _aggregate(
+    mode: Mode,
+    n: int,
+    steps: int,
+    primary: List[RankTimers],
+    secondary: List[RankTimers],
+) -> RunResult:
+    """Critical-path aggregation of per-rank timers into a RunResult."""
+    everyone = list(primary) + list(secondary)
+    start = min(t.start for t in everyone)
+    end = max(t.end for t in everyone)
+    fields = max(t.fields for t in everyone)
+    particles = max(t.particles for t in everyone)
+    comm = max((t.inter_module_comm for t in everyone), default=0.0)
+    return RunResult(
+        mode=mode,
+        nodes_per_solver=n,
+        steps=steps,
+        total_runtime=end - start,
+        fields_time=fields,
+        particles_time=particles,
+        inter_module_comm_time=comm,
+    )

@@ -1,0 +1,78 @@
+"""2D periodic grid for the xPic field and moment arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Grid2D"]
+
+
+class Grid2D:
+    """Uniform, periodic 2D grid.
+
+    Field quantities live on cell nodes, shape ``(ny, nx)`` (row-major:
+    y first, so a row-block domain decomposition splits contiguous
+    memory).
+    """
+
+    def __init__(self, nx: int, ny: int, lx: float, ly: float):
+        if nx < 2 or ny < 2:
+            raise ValueError("grid must be at least 2x2")
+        if lx <= 0 or ly <= 0:
+            raise ValueError("domain lengths must be positive")
+        self.nx, self.ny = int(nx), int(ny)
+        self.lx, self.ly = float(lx), float(ly)
+        self.dx = lx / nx
+        self.dy = ly / ny
+
+    @property
+    def shape(self):
+        """Array shape (ny, nx) of a scalar field."""
+        return (self.ny, self.nx)
+
+    @property
+    def cells(self) -> int:
+        """Total grid cells."""
+        return self.nx * self.ny
+
+    def zeros(self) -> np.ndarray:
+        """A zeroed scalar field on the grid nodes."""
+        return np.zeros(self.shape)
+
+    def vector_zeros(self) -> np.ndarray:
+        """Three-component field array, shape (3, ny, nx)."""
+        return np.zeros((3, self.ny, self.nx))
+
+    # -- differential operators (periodic, central differences) ------------
+    def ddx(self, f: np.ndarray) -> np.ndarray:
+        """Central-difference d/dx with periodic wrap."""
+        return (np.roll(f, -1, axis=-1) - np.roll(f, 1, axis=-1)) / (2 * self.dx)
+
+    def ddy(self, f: np.ndarray) -> np.ndarray:
+        """Central-difference d/dy with periodic wrap."""
+        return (np.roll(f, -1, axis=-2) - np.roll(f, 1, axis=-2)) / (2 * self.dy)
+
+    def laplacian(self, f: np.ndarray) -> np.ndarray:
+        """Compact 5-point Laplacian with periodic wrap."""
+        return (
+            (np.roll(f, -1, axis=-1) - 2 * f + np.roll(f, 1, axis=-1)) / self.dx**2
+            + (np.roll(f, -1, axis=-2) - 2 * f + np.roll(f, 1, axis=-2)) / self.dy**2
+        )
+
+    def curl(self, v: np.ndarray) -> np.ndarray:
+        """Curl of a 3-component field on the 2D grid (d/dz = 0)."""
+        vx, vy, vz = v[0], v[1], v[2]
+        out = np.empty_like(v)
+        out[0] = self.ddy(vz)  # dVz/dy - dVy/dz
+        out[1] = -self.ddx(vz)  # dVx/dz - dVz/dx
+        out[2] = self.ddx(vy) - self.ddy(vx)
+        return out
+
+    def divergence(self, v: np.ndarray) -> np.ndarray:
+        """Divergence of the in-plane components of a vector field."""
+        return self.ddx(v[0]) + self.ddy(v[1])
+
+    def wrap_positions(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Apply periodic boundaries to particle positions, in place."""
+        np.mod(x, self.lx, out=x)
+        np.mod(y, self.ly, out=y)

@@ -1,0 +1,395 @@
+"""Slab-decomposed xPic: the real numerics, distributed over ranks.
+
+Row-slab domain decomposition of the 2D grid (contiguous memory per
+slab).  Field arrays carry one ghost row on each side::
+
+    slot 0        = bottom ghost (neighbour's last owned row)
+    slots 1..R    = owned rows
+    slot R+1      = top ghost (neighbour's first owned row)
+
+All communication (ghost exchange, moment halo-add, particle
+migration, CG dot products) goes through the simulated MPI, so the
+numeric runs exercise exactly the communication pattern the
+performance model charges for — and their physics must match the
+single-process reference (:class:`~repro.apps.xpic.simulation.XpicSimulation`).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ...mpi import Comm
+from .config import XpicConfig
+from .fields import conjugate_gradient  # noqa: F401 (reference impl)
+from .grid import Grid2D
+from .particles import Species, maxwellian_species
+
+__all__ = ["Slab", "DistributedFields", "DistributedParticles", "load_slab_species"]
+
+TAG_HALO_UP = 71
+TAG_HALO_DOWN = 72
+TAG_MOMENT_FOLD = 73
+TAG_MIGRATE_UP = 74
+TAG_MIGRATE_DOWN = 75
+
+
+class Slab:
+    """One rank's share of the global grid (rows in y)."""
+
+    def __init__(self, config: XpicConfig, n_ranks: int, rank: int):
+        if config.ny % n_ranks != 0:
+            raise ValueError(f"ny={config.ny} not divisible into {n_ranks} slabs")
+        if not 0 <= rank < n_ranks:
+            raise ValueError("rank out of range")
+        self.config = config
+        self.n_ranks = n_ranks
+        self.rank = rank
+        self.global_grid = Grid2D(config.nx, config.ny, config.lx, config.ly)
+        self.rows = config.ny // n_ranks
+        self.row0 = rank * self.rows
+        self.nx = config.nx
+        self.dx = self.global_grid.dx
+        self.dy = self.global_grid.dy
+        self.y0 = self.row0 * self.dy
+        self.y1 = (self.row0 + self.rows) * self.dy
+
+    @property
+    def up(self) -> int:
+        """Rank owning the rows above (periodic)."""
+        return (self.rank + 1) % self.n_ranks
+
+    @property
+    def down(self) -> int:
+        """Rank owning the rows below (periodic)."""
+        return (self.rank - 1) % self.n_ranks
+
+    def zeros_ext(self, components: int = 3) -> np.ndarray:
+        """Extended array with ghost rows: (components, rows+2, nx)."""
+        if components == 1:
+            return np.zeros((self.rows + 2, self.nx))
+        return np.zeros((components, self.rows + 2, self.nx))
+
+    def owned(self, ext: np.ndarray) -> np.ndarray:
+        """View of the owned rows of an extended array."""
+        return ext[..., 1:-1, :]
+
+    # -- local differential operators (x periodic, y via ghosts) -----------
+    def ddx(self, ext: np.ndarray) -> np.ndarray:
+        """d/dx on owned rows; input extended, output owned-shaped."""
+        f = ext[..., 1:-1, :]
+        return (np.roll(f, -1, axis=-1) - np.roll(f, 1, axis=-1)) / (2 * self.dx)
+
+    def ddy(self, ext: np.ndarray) -> np.ndarray:
+        """d/dy on owned rows using the ghost rows."""
+        return (ext[..., 2:, :] - ext[..., :-2, :]) / (2 * self.dy)
+
+    def laplacian(self, ext: np.ndarray) -> np.ndarray:
+        """Compact Laplacian on owned rows, using the ghost rows in y."""
+        f = ext[..., 1:-1, :]
+        ddxx = (
+            np.roll(f, -1, axis=-1) - 2 * f + np.roll(f, 1, axis=-1)
+        ) / self.dx**2
+        ddyy = (ext[..., 2:, :] - 2 * f + ext[..., :-2, :]) / self.dy**2
+        return ddxx + ddyy
+
+    def curl(self, ext: np.ndarray) -> np.ndarray:
+        """Curl of an extended 3-component field, on owned rows."""
+        out = np.empty((3, self.rows, self.nx))
+        out[0] = self.ddy(ext[2])
+        out[1] = -self.ddx(ext[2])
+        out[2] = self.ddx(ext[1]) - self.ddy(ext[0])
+        return out
+
+    # -- particle indexing --------------------------------------------------
+    def local_indices(self, x: np.ndarray, y: np.ndarray):
+        """CIC corner indices into the *extended* arrays for particles
+        inside this slab, plus the bilinear weights."""
+        fx = x / self.dx
+        fy = y / self.dy
+        ix = np.floor(fx).astype(np.int64) % self.nx
+        iy_global = np.floor(fy).astype(np.int64)
+        slot = iy_global - self.row0 + 1  # owned rows map to 1..rows
+        tx = fx - np.floor(fx)
+        ty = fy - np.floor(fy)
+        w00 = (1 - ty) * (1 - tx)
+        w01 = (1 - ty) * tx
+        w10 = ty * (1 - tx)
+        w11 = ty * tx
+        return ix, slot, w00, w01, w10, w11
+
+    def interpolate(self, ext: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Gather an extended (3, rows+2, nx) field at particle positions."""
+        ix, slot, w00, w01, w10, w11 = self.local_indices(x, y)
+        ix1 = (ix + 1) % self.nx
+        out = np.empty((ext.shape[0], x.shape[0]))
+        for c in range(ext.shape[0]):
+            f = ext[c]
+            out[c] = (
+                f[slot, ix] * w00
+                + f[slot, ix1] * w01
+                + f[slot + 1, ix] * w10
+                + f[slot + 1, ix1] * w11
+            )
+        return out
+
+    def deposit(self, x: np.ndarray, y: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """CIC-deposit per-particle values into an extended scalar array."""
+        ext_flat = np.zeros((self.rows + 2) * self.nx)
+        if x.shape[0]:
+            ix, slot, w00, w01, w10, w11 = self.local_indices(x, y)
+            ix1 = (ix + 1) % self.nx
+            n = ext_flat.shape[0]
+            ext_flat += np.bincount(slot * self.nx + ix, weights=values * w00, minlength=n)
+            ext_flat += np.bincount(slot * self.nx + ix1, weights=values * w01, minlength=n)
+            ext_flat += np.bincount((slot + 1) * self.nx + ix, weights=values * w10, minlength=n)
+            ext_flat += np.bincount((slot + 1) * self.nx + ix1, weights=values * w11, minlength=n)
+        return ext_flat.reshape(self.rows + 2, self.nx) / (self.dx * self.dy)
+
+
+class DistributedFields:
+    """The field solver's state on one slab, with MPI generators."""
+
+    def __init__(self, slab: Slab, config: XpicConfig):
+        self.slab = slab
+        self.config = config
+        self.E = slab.zeros_ext()
+        self.B = slab.zeros_ext()
+        self.E_theta = slab.zeros_ext()
+        self.last_cg_iters = 0
+
+    # -- halo exchange ----------------------------------------------------
+    def halo_exchange(self, comm: Comm, ext: np.ndarray) -> Generator:
+        """Fill the ghost rows of an extended array from the neighbours.
+
+        Single rank: periodic wrap is local.
+        """
+        slab = self.slab
+        if slab.n_ranks == 1:
+            ext[..., 0, :] = ext[..., -2, :]
+            ext[..., -1, :] = ext[..., 1, :]
+            return
+        top_owned = np.ascontiguousarray(ext[..., -2, :])
+        bottom_owned = np.ascontiguousarray(ext[..., 1, :])
+        # send my top row up / receive my bottom ghost from below
+        got_bottom = yield from comm.sendrecv(
+            top_owned, dest=slab.up, source=slab.down,
+            sendtag=TAG_HALO_UP, recvtag=TAG_HALO_UP,
+        )
+        # send my bottom row down / receive my top ghost from above
+        got_top = yield from comm.sendrecv(
+            bottom_owned, dest=slab.down, source=slab.up,
+            sendtag=TAG_HALO_DOWN, recvtag=TAG_HALO_DOWN,
+        )
+        ext[..., 0, :] = got_bottom
+        ext[..., -1, :] = got_top
+
+    # -- distributed CG -----------------------------------------------------
+    def _apply_helmholtz(self, comm: Comm, dt: float, ext: np.ndarray) -> Generator:
+        yield from self.halo_exchange(comm, ext)
+        k = (self.config.c * self.config.theta * dt) ** 2
+        return self.slab.owned(ext) - k * self.slab.laplacian(ext)
+
+    def _dot(self, comm: Comm, a: np.ndarray, b: np.ndarray) -> Generator:
+        local = float(np.sum(a * b))
+        total = yield from comm.allreduce(local)
+        return total
+
+    def _cg(
+        self, comm: Comm, dt: float, b_owned: np.ndarray, x0_ext: np.ndarray
+    ) -> Generator:
+        """Distributed conjugate gradients on one field component."""
+        slab = self.slab
+        x = x0_ext.copy()
+        Ax = yield from self._apply_helmholtz(comm, dt, x)
+        r = b_owned - Ax
+        p_ext = slab.zeros_ext(1)
+        p_ext[1:-1, :] = r
+        rs = yield from self._dot(comm, r, r)
+        b_norm2 = yield from self._dot(comm, b_owned, b_owned)
+        if b_norm2 == 0.0:
+            return slab.zeros_ext(1), 0
+        tol2 = (self.config.cg_tol**2) * b_norm2
+        it = 0
+        while rs > tol2 and it < self.config.cg_max_iters:
+            Ap = yield from self._apply_helmholtz(comm, dt, p_ext)
+            pAp = yield from self._dot(comm, slab.owned(p_ext), Ap)
+            alpha = rs / pAp
+            x[1:-1, :] += alpha * slab.owned(p_ext)
+            r -= alpha * Ap
+            rs_new = yield from self._dot(comm, r, r)
+            p_ext[1:-1, :] = r + (rs_new / rs) * slab.owned(p_ext)
+            rs = rs_new
+            it += 1
+        yield from self.halo_exchange(comm, x)
+        return x, it
+
+    # -- solver steps -----------------------------------------------------
+    def calculate_E(
+        self, comm: Comm, dt: float, rho_owned: np.ndarray, J_owned: np.ndarray
+    ) -> Generator:
+        """Distributed implicit field solve (cf. FieldSolver.calculate_E)."""
+        cfg, slab = self.config, self.slab
+        ctdt = cfg.c * cfg.theta * dt
+        yield from self.halo_exchange(comm, self.B)
+        curlB = slab.curl(self.B)
+        rhs = slab.owned(self.E) + ctdt * (curlB - 4.0 * np.pi * J_owned / cfg.c)
+        total_iters = 0
+        for c in range(3):
+            x0 = np.zeros((slab.rows + 2, slab.nx))
+            x0[:, :] = self.E_theta[c]
+            sol, iters = yield from self._cg(comm, dt, rhs[c], x0)
+            self.E_theta[c] = sol
+            total_iters += iters
+        if cfg.theta > 0:
+            self.E[:, 1:-1, :] = (
+                self.E_theta[:, 1:-1, :] - (1.0 - cfg.theta) * self.E[:, 1:-1, :]
+            ) / cfg.theta
+        else:
+            self.E = self.E_theta.copy()
+        yield from self.halo_exchange(comm, self.E)
+        self.last_cg_iters = total_iters
+        return total_iters
+
+    def calculate_B(self, comm: Comm, dt: float) -> Generator:
+        """Distributed Faraday update of B from the decentred E field."""
+        yield from self.halo_exchange(comm, self.E_theta)
+        curlE = self.slab.curl(self.E_theta)
+        self.B[:, 1:-1, :] -= self.config.c * dt * curlE
+        yield from self.halo_exchange(comm, self.B)
+
+    def field_energy_local(self) -> float:
+        """This slab's contribution to the total field energy."""
+        cell = self.slab.dx * self.slab.dy
+        return 0.5 * cell * float(
+            np.sum(self.slab.owned(self.E) ** 2)
+            + np.sum(self.slab.owned(self.B) ** 2)
+        )
+
+
+class DistributedParticles:
+    """The particle solver's state on one slab, with MPI generators."""
+
+    def __init__(self, slab: Slab, species: List[Species]):
+        self.slab = slab
+        self.species = species
+
+    def move(self, E_ext: np.ndarray, B_ext: np.ndarray, dt: float) -> None:
+        """Boris push against the slab-extended field arrays (local)."""
+        slab = self.slab
+        for sp in self.species:
+            if sp.n == 0:
+                continue
+            qmdt2 = 0.5 * dt * sp.config.charge / sp.config.mass
+            Ep = slab.interpolate(E_ext, sp.x, sp.y)
+            Bp = slab.interpolate(B_ext, sp.x, sp.y)
+            vminus = sp.v + qmdt2 * Ep
+            t = qmdt2 * Bp
+            t2 = np.sum(t * t, axis=0)
+            s = 2.0 * t / (1.0 + t2)
+            vprime = vminus + np.cross(vminus.T, t.T).T
+            vplus = vminus + np.cross(vprime.T, s.T).T
+            sp.v = vplus + qmdt2 * Ep
+            sp.x += dt * sp.v[0]
+            sp.y += dt * sp.v[1]
+            np.mod(sp.x, slab.global_grid.lx, out=sp.x)
+            np.mod(sp.y, slab.global_grid.ly, out=sp.y)
+
+    def migrate(self, comm: Comm) -> Generator:
+        """Ship particles that left the slab to the neighbour ranks.
+
+        One step's travel is assumed under one slab height (checked),
+        so only nearest-neighbour exchange is needed.
+        """
+        slab = self.slab
+        if slab.n_ranks == 1:
+            return 0
+        moved = 0
+        for si, sp in enumerate(self.species):
+            in_slab = (sp.y >= slab.y0) & (sp.y < slab.y1)
+            # periodic distance decides direction for wrapped leavers
+            dy_up = (sp.y - slab.y1) % slab.global_grid.ly
+            dy_down = (slab.y0 - sp.y) % slab.global_grid.ly
+            goes_up = ~in_slab & (dy_up <= dy_down)
+            goes_down = ~in_slab & ~goes_up
+            up_pack = sp.extract(goes_up)
+            # extract() compacts arrays; recompute the down mask
+            in_slab2 = (sp.y >= slab.y0) & (sp.y < slab.y1)
+            down_pack = sp.extract(~in_slab2)
+            got_down = yield from comm.sendrecv(
+                up_pack, dest=slab.up, source=slab.down,
+                sendtag=TAG_MIGRATE_UP + 10 * si,
+                recvtag=TAG_MIGRATE_UP + 10 * si,
+            )
+            got_up = yield from comm.sendrecv(
+                down_pack, dest=slab.down, source=slab.up,
+                sendtag=TAG_MIGRATE_DOWN + 10 * si,
+                recvtag=TAG_MIGRATE_DOWN + 10 * si,
+            )
+            sp.inject(got_down)
+            sp.inject(got_up)
+            moved += len(up_pack["x"]) + len(down_pack["x"])
+        return moved
+
+    def gather_moments(self, comm: Comm) -> Generator:
+        """Deposit rho and J on the slab and fold the top halo row into
+        the upper neighbour's first owned row."""
+        slab = self.slab
+        rho_ext = np.zeros((slab.rows + 2, slab.nx))
+        J_ext = np.zeros((3, slab.rows + 2, slab.nx))
+        for sp in self.species:
+            q = np.full(sp.x.shape, sp.charge)
+            rho_ext += slab.deposit(sp.x, sp.y, q)
+            for c in range(3):
+                J_ext[c] += slab.deposit(sp.x, sp.y, q * sp.v[c])
+        # fold: my slot rows+1 belongs to the neighbour above
+        if slab.n_ranks == 1:
+            rho_ext[1, :] += rho_ext[-1, :]
+            J_ext[:, 1, :] += J_ext[:, -1, :]
+        else:
+            send_up = np.concatenate(
+                [rho_ext[-1, :][None, :], J_ext[:, -1, :]], axis=0
+            )
+            got = yield from comm.sendrecv(
+                np.ascontiguousarray(send_up),
+                dest=slab.up, source=slab.down,
+                sendtag=TAG_MOMENT_FOLD, recvtag=TAG_MOMENT_FOLD,
+            )
+            rho_ext[1, :] += got[0]
+            J_ext[:, 1, :] += got[1:]
+        return slab.owned(rho_ext[None, ...])[0], slab.owned(J_ext)
+
+    def kinetic_energy_local(self) -> float:
+        """This slab's contribution to the total kinetic energy."""
+        return sum(sp.kinetic_energy() for sp in self.species)
+
+    @property
+    def n_particles(self) -> int:
+        """Macro-particles currently on this slab."""
+        return sum(sp.n for sp in self.species)
+
+
+def load_slab_species(config: XpicConfig, slab: Slab) -> List[Species]:
+    """Load the *same global particle population* as the reference run
+    and keep only this slab's share.
+
+    Every rank draws the identical global sample (same seed, same
+    order) and filters by slab ownership — guaranteeing the distributed
+    run starts from exactly the reference initial condition.
+    """
+    rng = np.random.default_rng(config.seed)
+    out = []
+    for sc in config.species:
+        sp_global = maxwellian_species(sc, slab.global_grid, rng)
+        mask = (sp_global.y >= slab.y0) & (sp_global.y < slab.y1)
+        out.append(
+            Species(
+                sc,
+                sp_global.x[mask],
+                sp_global.y[mask],
+                sp_global.v[:, mask],
+                weight=sp_global.weight,
+            )
+        )
+    return out

@@ -1,0 +1,26 @@
+"""Benchmark harness utilities: ping-pong, runners, table rendering."""
+
+from .pingpong import (
+    PingPongPoint,
+    fig3_series,
+    fig3_sizes_bandwidth,
+    fig3_sizes_latency,
+    pingpong,
+)
+from .runners import FIG78_STEPS, Fig7Result, Fig8Result, run_fig7, run_fig8
+from .tables import render_series, render_table
+
+__all__ = [
+    "pingpong",
+    "fig3_series",
+    "fig3_sizes_latency",
+    "fig3_sizes_bandwidth",
+    "PingPongPoint",
+    "run_fig7",
+    "run_fig8",
+    "Fig7Result",
+    "Fig8Result",
+    "FIG78_STEPS",
+    "render_table",
+    "render_series",
+]

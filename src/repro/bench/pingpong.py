@@ -1,0 +1,89 @@
+"""MPI ping-pong microbenchmark (regenerates Fig 3).
+
+Measures end-to-end latency and bandwidth between node pairs with the
+standard ping-pong pattern over the simulated ParaStation MPI, exactly
+like the EXTOLL measurements of Fig 3 (CN-CN, BN-BN, CN-BN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..hardware.machine import Machine
+from ..mpi import Bytes, MPIRuntime
+
+__all__ = [
+    "PingPongPoint",
+    "pingpong",
+    "fig3_sizes_latency",
+    "fig3_sizes_bandwidth",
+    "fig3_series",
+]
+
+
+@dataclass(frozen=True)
+class PingPongPoint:
+    """One (message size, latency, bandwidth) measurement."""
+
+    nbytes: int
+    latency_s: float  # one-way time = round trip / 2
+    bandwidth_bps: float
+
+
+def fig3_sizes_latency() -> List[int]:
+    """Fig 3 lower panel x-axis: 1 B .. 32 KiB, powers of two."""
+    return [2**k for k in range(0, 16)]
+
+
+def fig3_sizes_bandwidth() -> List[int]:
+    """Fig 3 upper panel x-axis: 1 B .. 16 MiB, powers of two."""
+    return [2**k for k in range(0, 25)]
+
+
+def pingpong(
+    machine: Machine,
+    node_a: str,
+    node_b: str,
+    sizes: Sequence[int],
+    repetitions: int = 4,
+) -> List[PingPongPoint]:
+    """Run ping-pong between two nodes for each message size."""
+    rt = MPIRuntime(machine)
+    results: Dict[int, float] = {}
+
+    def app(ctx):
+        comm = ctx.world
+        peer = 1 - comm.rank
+        for nbytes in sizes:
+            t0 = ctx.sim.now
+            for _ in range(repetitions):
+                if comm.rank == 0:
+                    yield from comm.send(Bytes(nbytes), dest=peer)
+                    yield from comm.recv(source=peer)
+                else:
+                    yield from comm.recv(source=peer)
+                    yield from comm.send(Bytes(nbytes), dest=peer)
+            if comm.rank == 0:
+                round_trip = (ctx.sim.now - t0) / repetitions
+                results[nbytes] = round_trip / 2.0
+
+    nodes = [machine.fabric.node(node_a), machine.fabric.node(node_b)]
+    rt.run_app(app, nodes)
+    return [
+        PingPongPoint(
+            nbytes=n,
+            latency_s=results[n],
+            bandwidth_bps=n / results[n] if results[n] > 0 else 0.0,
+        )
+        for n in sizes
+    ]
+
+
+def fig3_series(machine: Machine, sizes: Sequence[int]) -> Dict[str, List[PingPongPoint]]:
+    """The three curves of Fig 3 on a fresh machine each."""
+    return {
+        "CN-CN": pingpong(machine, "cn00", "cn01", sizes),
+        "BN-BN": pingpong(machine, "bn00", "bn01", sizes),
+        "CN-BN": pingpong(machine, "cn00", "bn00", sizes),
+    }

@@ -1,0 +1,102 @@
+"""Experiment runners shared by the benchmark suite and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..apps.xpic import Mode, RunResult, run_experiment, table2_setup
+from ..hardware import build_deep_er_prototype
+from ..perfmodel import parallel_efficiency
+
+__all__ = ["Fig7Result", "Fig8Result", "run_fig7", "run_fig8", "FIG78_STEPS"]
+
+#: Step count used for the headline runs; with the Table II workload
+#: this puts absolute runtimes in the paper's tens-of-seconds range.
+FIG78_STEPS = 500
+
+
+@dataclass
+class Fig7Result:
+    """The three single-node runs of Fig 7."""
+
+    runs: Dict[Mode, RunResult]
+
+    @property
+    def gain_vs_cluster(self) -> float:
+        """C+B speedup over Cluster-only (paper: 1.28x)."""
+        return (
+            self.runs[Mode.CLUSTER].total_runtime
+            / self.runs[Mode.CB].total_runtime
+        )
+
+    @property
+    def gain_vs_booster(self) -> float:
+        """C+B speedup over Booster-only (paper: 1.21x)."""
+        return (
+            self.runs[Mode.BOOSTER].total_runtime
+            / self.runs[Mode.CB].total_runtime
+        )
+
+    @property
+    def field_cluster_advantage(self) -> float:
+        """Field-solver speedup of the Cluster node (paper: ~6x)."""
+        return (
+            self.runs[Mode.BOOSTER].fields_time
+            / self.runs[Mode.CLUSTER].fields_time
+        )
+
+    @property
+    def particle_booster_advantage(self) -> float:
+        """Particle-solver speedup of the Booster node (paper: ~1.35x)."""
+        return (
+            self.runs[Mode.CLUSTER].particles_time
+            / self.runs[Mode.BOOSTER].particles_time
+        )
+
+
+@dataclass
+class Fig8Result:
+    """The 3-mode x node-count scaling sweep of Fig 8."""
+
+    node_counts: List[int]
+    runs: Dict[Tuple[Mode, int], RunResult]
+
+    def runtime(self, mode: Mode, n: int) -> float:
+        """Total runtime of one (mode, node count) run."""
+        return self.runs[(mode, n)].total_runtime
+
+    def efficiency(self, mode: Mode, n: int) -> float:
+        """Parallel efficiency T(1) / (n T(n)) — Fig 8's lower panel."""
+        return parallel_efficiency(
+            self.runtime(mode, 1), self.runtime(mode, n), n
+        )
+
+    def gain(self, baseline: Mode, n: int) -> float:
+        """C+B speedup over a homogeneous baseline at n nodes per solver."""
+        return self.runtime(baseline, n) / self.runtime(Mode.CB, n)
+
+
+def run_fig7(steps: int = FIG78_STEPS) -> Fig7Result:
+    """Run the three single-node experiments of Fig 7."""
+    cfg = table2_setup(steps=steps)
+    runs = {}
+    for mode in Mode:
+        machine = build_deep_er_prototype()
+        runs[mode] = run_experiment(machine, mode, cfg, nodes_per_solver=1)
+    return Fig7Result(runs=runs)
+
+
+def run_fig8(
+    steps: int = FIG78_STEPS, node_counts: Tuple[int, ...] = (1, 2, 4, 8)
+) -> Fig8Result:
+    """Run the full scaling sweep of Fig 8 (3 modes x node counts)."""
+    cfg = table2_setup(steps=steps)
+    runs = {}
+    for mode in Mode:
+        for n in node_counts:
+            machine = build_deep_er_prototype()
+            runs[(mode, n)] = run_experiment(
+                machine, mode, cfg, nodes_per_solver=n
+            )
+    return Fig8Result(node_counts=list(node_counts), runs=runs)

@@ -1,0 +1,224 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1            # Table I from the machine model
+    python -m repro fig3              # fabric bandwidth/latency curves
+    python -m repro fig7 [--steps N]  # single-node mode comparison
+    python -m repro fig8 [--steps N]  # scaling sweep
+    python -m repro all               # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps.xpic import Mode
+from .bench import (
+    FIG78_STEPS,
+    fig3_series,
+    fig3_sizes_bandwidth,
+    fig3_sizes_latency,
+    render_series,
+    render_table,
+    run_fig7,
+    run_fig8,
+)
+from .hardware import build_deep_er_prototype, table1_rows
+
+__all__ = ["main"]
+
+
+def cmd_table1(_args) -> str:
+    rows = table1_rows(build_deep_er_prototype())
+    return render_table(
+        ["Feature", "Cluster", "Booster"],
+        rows,
+        title="Table I: Hardware configuration of the DEEP-ER prototype",
+    )
+
+
+def cmd_fig3(_args) -> str:
+    lat = fig3_series(build_deep_er_prototype(), fig3_sizes_latency())
+    bw = fig3_series(build_deep_er_prototype(), fig3_sizes_bandwidth())
+    out = [
+        render_series(
+            "Bytes",
+            fig3_sizes_bandwidth(),
+            {k: [p.bandwidth_bps / 1e6 for p in v] for k, v in bw.items()},
+            title="Fig 3 (top): MPI bandwidth [MByte/s]",
+        ),
+        "",
+        render_series(
+            "Bytes",
+            fig3_sizes_latency(),
+            {k: [p.latency_s * 1e6 for p in v] for k, v in lat.items()},
+            title="Fig 3 (bottom): MPI latency [us]",
+        ),
+    ]
+    return "\n".join(out)
+
+
+def cmd_fig7(args) -> str:
+    result = run_fig7(steps=args.steps)
+    rows = []
+    for mode in Mode:
+        r = result.runs[mode]
+        rows.append(
+            (
+                mode.value,
+                f"{r.fields_time:.2f}",
+                f"{r.particles_time:.2f}",
+                f"{r.total_runtime:.2f}",
+            )
+        )
+    table = render_table(
+        ["Mode", "Fields [s]", "Particles [s]", "Total [s]"],
+        rows,
+        title=f"Fig 7: single-node runtimes ({args.steps} steps)",
+    )
+    table += (
+        f"\n\nC+B gain vs Cluster: {result.gain_vs_cluster:.3f}x (paper 1.28x)"
+        f"\nC+B gain vs Booster: {result.gain_vs_booster:.3f}x (paper 1.21x)"
+        f"\nfield solver Cluster advantage: "
+        f"{result.field_cluster_advantage:.2f}x (paper ~6x)"
+        f"\nparticle solver Booster advantage: "
+        f"{result.particle_booster_advantage:.2f}x (paper ~1.35x)"
+    )
+    return table
+
+
+def cmd_fig8(args) -> str:
+    result = run_fig8(steps=args.steps)
+    ns = result.node_counts
+    out = [
+        render_series(
+            "Nodes/solver",
+            ns,
+            {m.value: [result.runtime(m, n) for n in ns] for m in Mode},
+            title=f"Fig 8 (top): runtime [s] ({args.steps} steps)",
+            fmt="{:.2f}",
+        ),
+        "",
+        render_series(
+            "Nodes/solver",
+            ns,
+            {m.value: [result.efficiency(m, n) for n in ns] for m in Mode},
+            title="Fig 8 (bottom): parallel efficiency",
+            fmt="{:.3f}",
+        ),
+        "",
+        f"C+B gain at 8 nodes: {result.gain(Mode.CLUSTER, 8):.3f}x vs Cluster "
+        f"(paper 1.38x), {result.gain(Mode.BOOSTER, 8):.3f}x vs Booster "
+        "(paper 1.34x)",
+    ]
+    return "\n".join(out)
+
+
+def cmd_validate(args) -> str:
+    from .validate import render_claims, validate_claims
+
+    return render_claims(validate_claims(steps=args.steps))
+
+
+def cmd_report(_args) -> str:
+    """Compose every archived benchmark table into one document."""
+    import pathlib
+
+    results = pathlib.Path("benchmarks/_results")
+    if not results.is_dir():
+        # fall back to the repository the package was installed from
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        results = repo_root / "benchmarks" / "_results"
+    if not results.is_dir():
+        return (
+            "no archived results found — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    order = [
+        "table1", "fig3_latency", "fig3_bandwidth", "table2", "fig7",
+        "fig8_runtime", "fig8_efficiency", "fig8_gains",
+    ]
+    files = sorted(
+        results.glob("*.txt"),
+        key=lambda p: (order.index(p.stem) if p.stem in order else 99, p.stem),
+    )
+    parts = ["# Benchmark results", ""]
+    for path in files:
+        parts.append(f"## {path.stem}")
+        parts.append("")
+        parts.append("```")
+        parts.append(path.read_text().rstrip())
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def cmd_all(args) -> str:
+    parts = [
+        cmd_table1(args),
+        "",
+        cmd_fig3(args),
+        "",
+        cmd_fig7(args),
+        "",
+        cmd_fig8(args),
+    ]
+    return "\n".join(parts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation of 'Application performance "
+        "on a Cluster-Booster system' on the simulated DEEP-ER prototype.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table I: hardware configuration")
+    sub.add_parser("fig3", help="Fig 3: fabric bandwidth and latency")
+    sub.add_parser(
+        "report", help="compose archived benchmark tables into one document"
+    )
+    for name, hlp in (
+        ("fig7", "Fig 7: single-node mode comparison"),
+        ("fig8", "Fig 8: scaling sweep"),
+        ("validate", "grade every claim against its acceptance band"),
+        ("all", "everything"),
+    ):
+        sp = sub.add_parser(name, help=hlp)
+        sp.add_argument(
+            "--steps",
+            type=int,
+            default=FIG78_STEPS,
+            help=f"xPic time steps (default {FIG78_STEPS})",
+        )
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "table1": cmd_table1,
+        "fig3": cmd_fig3,
+        "fig7": cmd_fig7,
+        "fig8": cmd_fig8,
+        "validate": cmd_validate,
+        "report": cmd_report,
+        "all": cmd_all,
+    }[args.command]
+    try:
+        print(handler(args))
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

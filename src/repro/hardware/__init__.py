@@ -1,0 +1,37 @@
+"""Hardware models of the DEEP-ER prototype (Table I).
+
+Processors (Haswell Xeon, KNL Xeon Phi), memory hierarchies
+(DDR4, MCDRAM), node-local NVMe, nodes, and the assembled machine.
+"""
+
+from .machine import (
+    Machine,
+    build_deep_er_prototype,
+    build_jureca_like,
+    table1_rows,
+)
+from .memory import GB, GIB, MemoryLevel, MemorySystem
+from .node import Node, NodeKind
+from .nvme import DC_P3700_PARAMS, NVMeDevice, StorageFullError
+from .processor import HASWELL_E5_2680V3, KNL_7210, Processor
+from . import presets
+
+__all__ = [
+    "Machine",
+    "build_deep_er_prototype",
+    "build_jureca_like",
+    "table1_rows",
+    "MemoryLevel",
+    "MemorySystem",
+    "GB",
+    "GIB",
+    "Node",
+    "NodeKind",
+    "NVMeDevice",
+    "StorageFullError",
+    "DC_P3700_PARAMS",
+    "Processor",
+    "HASWELL_E5_2680V3",
+    "KNL_7210",
+    "presets",
+]

@@ -1,0 +1,202 @@
+"""Assembly of the full DEEP-ER prototype machine.
+
+A :class:`Machine` owns the simulator, the fabric, and all nodes, and
+exposes module-level views (``machine.cluster``, ``machine.booster``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..network import Fabric, build_two_level_topology
+from ..sim import Simulator
+from . import presets
+from .memory import MemorySystem
+from .node import Node, NodeKind
+from .nvme import NVMeDevice
+from .processor import HASWELL_E5_2680V3, KNL_7210, Processor
+
+__all__ = ["Machine", "build_deep_er_prototype", "table1_rows"]
+
+
+class Machine:
+    """The modelled system: nodes of several modules plus one fabric."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric):
+        self.sim = sim
+        self.fabric = fabric
+        self._nodes: Dict[str, Node] = {}
+
+    def add_node(self, node: Node) -> Node:
+        """Register a node with the machine and its fabric."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        self.fabric.register_node(node)
+        return node
+
+    def node(self, node_id: str) -> Node:
+        """Look a node up by id."""
+        return self._nodes[node_id]
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[Node]:
+        """All nodes of one kind (cluster, booster, storage, ...)."""
+        return [n for n in self._nodes.values() if n.kind == kind]
+
+    @property
+    def cluster(self) -> List[Node]:
+        """The Cluster nodes."""
+        return self.nodes_of_kind(NodeKind.CLUSTER)
+
+    @property
+    def booster(self) -> List[Node]:
+        """The Booster nodes."""
+        return self.nodes_of_kind(NodeKind.BOOSTER)
+
+    @property
+    def storage(self) -> List[Node]:
+        """The storage servers."""
+        return self.nodes_of_kind(NodeKind.STORAGE)
+
+    @property
+    def nams(self) -> List[Node]:
+        """The network-attached-memory devices."""
+        return self.nodes_of_kind(NodeKind.NAM)
+
+    @property
+    def all_nodes(self) -> List[Node]:
+        """Every node of the machine."""
+        return list(self._nodes.values())
+
+    def module(self, name: str) -> List[Node]:
+        """Nodes of a module by name ('cluster' or 'booster')."""
+        return self.nodes_of_kind(NodeKind(name))
+
+    def peak_flops(self, kind: NodeKind) -> float:
+        """Aggregate peak flop/s of all nodes of a kind."""
+        return sum(n.peak_flops for n in self.nodes_of_kind(kind))
+
+
+def build_deep_er_prototype(
+    sim: Optional[Simulator] = None,
+    cluster_nodes: int = presets.CLUSTER_NODE_COUNT,
+    booster_nodes: int = presets.BOOSTER_NODE_COUNT,
+    storage_nodes: int = presets.STORAGE_SERVER_COUNT,
+    nam_devices: int = presets.NAM_DEVICE_COUNT,
+    with_nvme: bool = True,
+) -> Machine:
+    """Instantiate the DEEP-ER prototype (Table I configuration).
+
+    Node ids follow the paper's abbreviations: ``cn00..`` Cluster nodes,
+    ``bn00..`` Booster nodes, ``st0..`` storage servers, ``nam0..`` NAMs.
+    """
+    sim = sim or Simulator()
+    cn_ids = [f"cn{i:02d}" for i in range(cluster_nodes)]
+    bn_ids = [f"bn{i:02d}" for i in range(booster_nodes)]
+    st_ids = [f"st{i}" for i in range(storage_nodes)]
+    nam_ids = [f"nam{i}" for i in range(nam_devices)]
+
+    topo = build_two_level_topology(
+        sim, cn_ids, bn_ids, storage_ids=st_ids, nam_ids=nam_ids
+    )
+    fabric = Fabric(sim, topo)
+    machine = Machine(sim, fabric)
+
+    for cid in cn_ids:
+        machine.add_node(
+            Node(
+                node_id=cid,
+                kind=NodeKind.CLUSTER,
+                processor=HASWELL_E5_2680V3,
+                memory=presets.cluster_memory(),
+                nvme=NVMeDevice(sim) if with_nvme else None,
+                nic_sw_overhead_s=presets.CLUSTER_NIC_OVERHEAD_S,
+            )
+        )
+    for bid in bn_ids:
+        machine.add_node(
+            Node(
+                node_id=bid,
+                kind=NodeKind.BOOSTER,
+                processor=KNL_7210,
+                memory=presets.booster_memory(),
+                nvme=NVMeDevice(sim) if with_nvme else None,
+                nic_sw_overhead_s=presets.BOOSTER_NIC_OVERHEAD_S,
+            )
+        )
+    for sid in st_ids:
+        machine.add_node(
+            Node(
+                node_id=sid,
+                kind=NodeKind.STORAGE,
+                nic_sw_overhead_s=presets.CLUSTER_NIC_OVERHEAD_S,
+            )
+        )
+    for nid in nam_ids:
+        # The NAM has no CPU at all: all logic sits in the FPGA, so its
+        # "software" overhead is a small fixed hardware pipeline cost.
+        machine.add_node(
+            Node(node_id=nid, kind=NodeKind.NAM, nic_sw_overhead_s=0.1e-6)
+        )
+    return machine
+
+
+def build_jureca_like(
+    sim: Optional[Simulator] = None,
+    cluster_nodes: int = 256,
+    booster_nodes: int = 128,
+) -> Machine:
+    """A production-scale Cluster-Booster system (section VI outlook).
+
+    The paper notes the architecture "has gone into production": the
+    JURECA Cluster at JSC gained a KNL-based Booster.  This builder
+    instantiates a (configurable, default 256+128 node) system with the
+    same per-node models, for projection studies beyond the 16+8
+    prototype.  Only node counts change — Table I parameters stay.
+    """
+    return build_deep_er_prototype(
+        sim=sim,
+        cluster_nodes=cluster_nodes,
+        booster_nodes=booster_nodes,
+        storage_nodes=presets.STORAGE_SERVER_COUNT,
+        nam_devices=presets.NAM_DEVICE_COUNT,
+        with_nvme=False,  # keep large machines cheap to build
+    )
+
+
+def table1_rows(machine: Machine) -> List[tuple]:
+    """Render Table I ("Hardware configuration of the DEEP-ER prototype")
+    from the live machine model, for the Table I bench."""
+    cn = machine.cluster[0]
+    bn = machine.booster[0]
+
+    def fmt(node: Node):
+        p: Processor = node.processor
+        mem: MemorySystem = node.memory
+        return {
+            "Processor": p.model,
+            "Microarchitecture": p.microarchitecture,
+            "Sockets per node": str(p.sockets),
+            "Cores per node": str(p.cores),
+            "Threads per node": str(p.threads),
+            "Frequency": f"{p.frequency_hz / 1e9:.1f} GHz",
+            "Memory (RAM)": mem.describe(),
+            "NVMe capacity": f"{node.nvme.capacity_bytes // 10**9} GB"
+            if node.nvme
+            else "-",
+            "Interconnect": "EXTOLL Tourmalet A3",
+            "Max. link bandwidth": "100 Gbit/s",
+            "MPI latency": f"{machine.fabric.latency(node.node_id, _peer_id(machine, node)) * 1e6:.1f} us",
+            "Node count": str(
+                len(machine.nodes_of_kind(node.kind))
+            ),
+            "Peak performance": f"{machine.peak_flops(node.kind) / 1e12:.0f} TFlop/s",
+        }
+
+    crow, brow = fmt(cn), fmt(bn)
+    return [(feature, crow[feature], brow[feature]) for feature in crow]
+
+
+def _peer_id(machine: Machine, node: Node) -> str:
+    peers = [n for n in machine.nodes_of_kind(node.kind) if n is not node]
+    return peers[0].node_id if peers else node.node_id

@@ -1,0 +1,75 @@
+"""Node memory hierarchy models (DDR4, MCDRAM)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["MemoryLevel", "MemorySystem", "GIB", "GB"]
+
+GIB = 1024**3
+GB = 10**9
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of a node's memory hierarchy.
+
+    ``bandwidth_bps`` is sustained STREAM-like bandwidth in bytes/s.
+    """
+
+    name: str
+    capacity_bytes: int
+    bandwidth_bps: float
+    latency_s: float = 90e-9
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0 or self.bandwidth_bps <= 0 or self.latency_s < 0:
+            raise ValueError("memory level parameters must be positive")
+
+
+class MemorySystem:
+    """An ordered collection of memory levels (fastest first).
+
+    The *working* bandwidth used by the performance model is that of the
+    fastest level whose capacity can hold the working set (KNL codes that
+    fit in 16 GB MCDRAM stream at MCDRAM speed, larger sets at DDR4
+    speed).
+    """
+
+    def __init__(self, levels: List[MemoryLevel]):
+        if not levels:
+            raise ValueError("at least one memory level required")
+        self.levels = sorted(levels, key=lambda l: -l.bandwidth_bps)
+
+    @property
+    def total_capacity(self) -> int:
+        """Capacity summed over all levels."""
+        return sum(l.capacity_bytes for l in self.levels)
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Bandwidth of the fastest level."""
+        return self.levels[0].bandwidth_bps
+
+    def level_for(self, working_set_bytes: int) -> MemoryLevel:
+        """The fastest level able to hold ``working_set_bytes``."""
+        for level in self.levels:
+            if working_set_bytes <= level.capacity_bytes:
+                return level
+        raise MemoryError(
+            f"working set of {working_set_bytes} B exceeds node memory "
+            f"({self.total_capacity} B)"
+        )
+
+    def bandwidth_for(self, working_set_bytes: Optional[int] = None) -> float:
+        """Sustained bandwidth for a given working-set size (peak if None)."""
+        if working_set_bytes is None:
+            return self.peak_bandwidth
+        return self.level_for(working_set_bytes).bandwidth_bps
+
+    def describe(self) -> str:
+        """Human-readable memory summary in Table I style."""
+        return " + ".join(
+            f"{l.capacity_bytes // GB} GB - {l.name}" for l in self.levels
+        )

@@ -1,0 +1,136 @@
+"""Node-local NVMe device model (Intel DC P3700, 400 GB).
+
+The DEEP-ER prototype attaches one DC P3700 per node over 4 lanes of
+PCIe gen3 and uses it for I/O buffering and checkpointing.  The model
+captures capacity, sequential read/write bandwidth, access latency, and
+serializes concurrent accesses through a queue (a sim Resource).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim import Resource, Simulator
+
+__all__ = ["NVMeDevice", "StorageFullError", "DC_P3700_PARAMS"]
+
+#: Published sequential throughput of the Intel DC P3700 (400 GB SKU).
+DC_P3700_PARAMS = dict(
+    capacity_bytes=400 * 10**9,
+    read_bandwidth_bps=2.7e9,
+    write_bandwidth_bps=1.08e9,
+    access_latency_s=20e-6,
+)
+
+
+class StorageFullError(Exception):
+    """Raised when a write would exceed the device capacity."""
+
+
+class NVMeDevice:
+    """A non-volatile local storage device with a flat object namespace.
+
+    Reads and writes are simulation processes; their duration is
+    ``latency + nbytes / bandwidth`` and concurrent accesses are
+    serialized FIFO (single submission queue model).
+
+    Stored objects are tracked as ``name -> (nbytes, payload)`` so tests
+    can verify round-trips; ``payload`` may be ``None`` for pure
+    capacity-accounting use.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bytes: int = DC_P3700_PARAMS["capacity_bytes"],
+        read_bandwidth_bps: float = DC_P3700_PARAMS["read_bandwidth_bps"],
+        write_bandwidth_bps: float = DC_P3700_PARAMS["write_bandwidth_bps"],
+        access_latency_s: float = DC_P3700_PARAMS["access_latency_s"],
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity_bytes = capacity_bytes
+        self.read_bandwidth_bps = read_bandwidth_bps
+        self.write_bandwidth_bps = write_bandwidth_bps
+        self.access_latency_s = access_latency_s
+        self._queue = Resource(sim, capacity=1)
+        self._objects: dict = {}
+        self.bytes_written_total = 0
+        self.bytes_read_total = 0
+
+    # -- capacity accounting ----------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently stored."""
+        return sum(nbytes for nbytes, _ in self._objects.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity in bytes."""
+        return self.capacity_bytes - self.used_bytes
+
+    def contains(self, name: str) -> bool:
+        """Whether an object of this name is stored on the device."""
+        return name in self._objects
+
+    def object_size(self, name: str) -> int:
+        """Stored size in bytes of a named object."""
+        return self._objects[name][0]
+
+    def list_objects(self):
+        """Sorted names of all stored objects."""
+        return sorted(self._objects)
+
+    # -- timed operations ----------------------------------------------------
+    def write(self, name: str, nbytes: int, payload=None) -> Generator:
+        """Simulation process: write ``nbytes`` under ``name``."""
+        if nbytes < 0:
+            raise ValueError("negative write size")
+        existing = self._objects.get(name, (0, None))[0]
+        if self.used_bytes - existing + nbytes > self.capacity_bytes:
+            raise StorageFullError(
+                f"write of {nbytes} B exceeds free capacity {self.free_bytes} B"
+            )
+        req = self._queue.request()
+        yield req
+        try:
+            yield self.sim.timeout(
+                self.access_latency_s + nbytes / self.write_bandwidth_bps
+            )
+            self._objects[name] = (nbytes, payload)
+            self.bytes_written_total += nbytes
+        finally:
+            self._queue.release(req)
+
+    def read(self, name: str) -> Generator:
+        """Simulation process: read object ``name``; returns its payload."""
+        if name not in self._objects:
+            raise KeyError(f"no object {name!r} on device")
+        nbytes, payload = self._objects[name]
+        req = self._queue.request()
+        yield req
+        try:
+            yield self.sim.timeout(
+                self.access_latency_s + nbytes / self.read_bandwidth_bps
+            )
+            self.bytes_read_total += nbytes
+            return payload
+        finally:
+            self._queue.release(req)
+
+    def delete(self, name: str) -> None:
+        """Instantaneous metadata operation removing an object."""
+        self._objects.pop(name, None)
+
+    def wipe(self) -> None:
+        """Drop all objects (e.g. simulating device loss on node failure)."""
+        self._objects.clear()
+
+    def write_time(self, nbytes: int) -> float:
+        """Analytic (no-contention) write duration."""
+        return self.access_latency_s + nbytes / self.write_bandwidth_bps
+
+    def read_time(self, nbytes: int) -> float:
+        """Analytic (no-contention) read duration."""
+        return self.access_latency_s + nbytes / self.read_bandwidth_bps

@@ -1,0 +1,78 @@
+"""Hardware presets reproducing Table I of the paper.
+
+All constants below are taken from Table I ("Hardware configuration of
+the DEEP-ER prototype") or from public component datasheets (memory
+bandwidths, NVMe throughput).  The NIC software overheads are the one
+calibrated quantity: they are solved from Table I's measured MPI
+latencies (1.0 us Cluster, 1.8 us Booster) given the 2-link intra-module
+routes of the modelled topology.
+"""
+
+from __future__ import annotations
+
+from .memory import GB, MemoryLevel, MemorySystem
+from .processor import HASWELL_E5_2680V3, KNL_7210
+
+__all__ = [
+    "CLUSTER_NODE_COUNT",
+    "BOOSTER_NODE_COUNT",
+    "STORAGE_SERVER_COUNT",
+    "NAM_DEVICE_COUNT",
+    "NAM_CAPACITY_BYTES",
+    "CLUSTER_NIC_OVERHEAD_S",
+    "BOOSTER_NIC_OVERHEAD_S",
+    "CLUSTER_MPI_LATENCY_S",
+    "BOOSTER_MPI_LATENCY_S",
+    "cluster_memory",
+    "booster_memory",
+    "storage_capacity_bytes",
+]
+
+#: Table I: node counts of the DEEP-ER prototype.
+CLUSTER_NODE_COUNT = 16
+BOOSTER_NODE_COUNT = 8
+
+#: Section II-B: one metadata plus two storage servers, 57 TB spinning disk.
+STORAGE_SERVER_COUNT = 3
+storage_capacity_bytes = 57 * 10**12
+
+#: Section II-B: two NAM devices of 2 GB each (HMC capacity limit).
+NAM_DEVICE_COUNT = 2
+NAM_CAPACITY_BYTES = 2 * 10**9
+
+#: Table I: measured end-to-end MPI latencies.
+CLUSTER_MPI_LATENCY_S = 1.0e-6
+BOOSTER_MPI_LATENCY_S = 1.8e-6
+
+#: Per-hop switching latency of the modelled Tourmalet fabric.
+_HOP_LATENCY_S = 60e-9
+_INTRA_MODULE_HOPS = 2
+
+#: Solve  latency = 2 * overhead + hops * hop_latency  for each module.
+CLUSTER_NIC_OVERHEAD_S = (
+    CLUSTER_MPI_LATENCY_S - _INTRA_MODULE_HOPS * _HOP_LATENCY_S
+) / 2.0
+BOOSTER_NIC_OVERHEAD_S = (
+    BOOSTER_MPI_LATENCY_S - _INTRA_MODULE_HOPS * _HOP_LATENCY_S
+) / 2.0
+
+
+def cluster_memory() -> MemorySystem:
+    """Cluster node memory: 128 GB DDR4 (Table I), ~120 GB/s sustained."""
+    return MemorySystem(
+        [MemoryLevel("DDR4", 128 * GB, 120e9, latency_s=90e-9)]
+    )
+
+
+def booster_memory() -> MemorySystem:
+    """Booster node memory: 16 GB MCDRAM + 96 GB DDR4 (Table I).
+
+    MCDRAM sustains ~440 GB/s in flat/quadrant mode; the DDR4 side of
+    KNL sustains ~90 GB/s.
+    """
+    return MemorySystem(
+        [
+            MemoryLevel("MCDRAM", 16 * GB, 440e9, latency_s=150e-9),
+            MemoryLevel("DDR4", 96 * GB, 90e9, latency_s=130e-9),
+        ]
+    )

@@ -1,0 +1,21 @@
+"""The DEEP-ER I/O software stack (section III-C).
+
+BeeGFS-like parallel file system, BeeOND-like NVMe cache domain, and
+SIONlib-like task-local I/O aggregation, all running against the
+simulated machine and fabric.
+"""
+
+from .beegfs import BeeGFS, DegradedError, FileNotFound
+from .beeond import BeeondCache, CacheMode
+from .sionlib import SIONFile, buddy_write, write_task_local
+
+__all__ = [
+    "BeeGFS",
+    "FileNotFound",
+    "DegradedError",
+    "BeeondCache",
+    "CacheMode",
+    "SIONFile",
+    "write_task_local",
+    "buddy_write",
+]

@@ -1,0 +1,184 @@
+"""BeeGFS-like parallel file system model (section III-C).
+
+One metadata server plus striped storage servers, reached over the
+EXTOLL fabric.  Costs modelled:
+
+* every namespace operation (create/open/delete) serializes at the
+  metadata server for ``metadata_op_s``;
+* file data is striped in ``chunk_bytes`` chunks round-robin over the
+  storage servers; each chunk crosses the fabric to its server and then
+  occupies the server's disk for ``chunk / disk_bw``.
+
+This produces the two behaviours the DEEP-ER I/O stack addresses:
+metadata storms from task-local files (fixed by SIONlib) and limited
+global bandwidth (fixed by the BeeOND NVMe cache).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..hardware.machine import Machine
+from ..hardware.node import Node
+from ..sim import Resource, Simulator
+
+__all__ = ["BeeGFS", "FileNotFound", "DegradedError"]
+
+
+class FileNotFound(Exception):
+    """Raised when reading or deleting a non-existent path."""
+
+
+class DegradedError(Exception):
+    """A stripe lives on a failed storage server."""
+
+
+class _StorageServer:
+    def __init__(self, sim: Simulator, node: Node, disk_bandwidth_bps: float):
+        self.node = node
+        self.disk_bandwidth_bps = disk_bandwidth_bps
+        self.queue = Resource(sim, capacity=1)
+        self.bytes_stored = 0
+
+    @property
+    def failed(self) -> bool:
+        return self.node.failed
+
+
+class BeeGFS:
+    """The global parallel file system of the prototype."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        chunk_bytes: int = 512 * 1024,
+        metadata_op_s: float = 0.5e-3,
+        disk_bandwidth_bps: float = 0.4e9,
+        capacity_bytes: int = 57 * 10**12,
+    ):
+        storage_nodes = machine.storage
+        if len(storage_nodes) < 2:
+            raise ValueError("BeeGFS needs a metadata and at least one storage server")
+        self.machine = machine
+        self.sim = machine.sim
+        self.fabric = machine.fabric
+        self.chunk_bytes = chunk_bytes
+        self.metadata_op_s = metadata_op_s
+        self.capacity_bytes = capacity_bytes
+        # First storage node acts as the metadata server (section II-B:
+        # "one meta-data, two storage servers").
+        self.metadata_node = storage_nodes[0]
+        self.metadata_queue = Resource(self.sim, capacity=1)
+        self.servers: List[_StorageServer] = [
+            _StorageServer(self.sim, n, disk_bandwidth_bps) for n in storage_nodes[1:]
+        ]
+        self._files: Dict[str, int] = {}
+        self.metadata_ops = 0
+
+    # -- capacity ------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes stored across all files."""
+        return sum(self._files.values())
+
+    def exists(self, path: str) -> bool:
+        """Whether a path exists in the namespace."""
+        return path in self._files
+
+    def file_size(self, path: str) -> int:
+        """Current size of a file in bytes."""
+        if path not in self._files:
+            raise FileNotFound(path)
+        return self._files[path]
+
+    def list_files(self) -> List[str]:
+        """Sorted listing of every path in the file system."""
+        return sorted(self._files)
+
+    # -- namespace operations ------------------------------------------------
+    def _metadata_op(self, client: Node) -> Generator:
+        """One serialized metadata-server interaction."""
+        yield from self.fabric.transfer(
+            client.node_id, self.metadata_node.node_id, 256
+        )
+        req = self.metadata_queue.request()
+        yield req
+        try:
+            yield self.sim.timeout(self.metadata_op_s)
+            self.metadata_ops += 1
+        finally:
+            self.metadata_queue.release(req)
+
+    def create(self, client: Node, path: str) -> Generator:
+        """Create an empty file (one metadata-server operation)."""
+        yield from self._metadata_op(client)
+        self._files.setdefault(path, 0)
+
+    def delete(self, client: Node, path: str) -> Generator:
+        """Remove a file (one metadata-server operation)."""
+        if path not in self._files:
+            raise FileNotFound(path)
+        yield from self._metadata_op(client)
+        del self._files[path]
+
+    # -- data operations -----------------------------------------------------
+    def _chunks(self, offset: int, nbytes: int):
+        """Yield (server, chunk_size) pairs for a byte range."""
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            idx = (pos // self.chunk_bytes) % len(self.servers)
+            in_chunk = self.chunk_bytes - (pos % self.chunk_bytes)
+            size = min(in_chunk, end - pos)
+            yield self.servers[idx], size
+            pos += size
+
+    def write(
+        self, client: Node, path: str, nbytes: int, offset: int = 0
+    ) -> Generator:
+        """Striped write; auto-creates the file if needed."""
+        if nbytes < 0:
+            raise ValueError("negative write size")
+        if path not in self._files:
+            yield from self.create(client, path)
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise IOError("file system full")
+        for server, size in self._chunks(offset, nbytes):
+            if server.failed:
+                raise DegradedError(
+                    f"storage server {server.node.node_id} is down; "
+                    f"stripe of {path!r} unwritable"
+                )
+            yield from self.fabric.transfer(
+                client.node_id, server.node.node_id, size
+            )
+            req = server.queue.request()
+            yield req
+            try:
+                yield self.sim.timeout(size / server.disk_bandwidth_bps)
+                server.bytes_stored += size
+            finally:
+                server.queue.release(req)
+        self._files[path] = max(self._files[path], offset + nbytes)
+
+    def read(self, client: Node, path: str, nbytes: Optional[int] = None) -> Generator:
+        """Striped read of ``nbytes`` (whole file by default)."""
+        if path not in self._files:
+            raise FileNotFound(path)
+        nbytes = self._files[path] if nbytes is None else nbytes
+        for server, size in self._chunks(0, nbytes):
+            if server.failed:
+                raise DegradedError(
+                    f"storage server {server.node.node_id} is down; "
+                    f"stripe of {path!r} unreadable"
+                )
+            req = server.queue.request()
+            yield req
+            try:
+                yield self.sim.timeout(size / server.disk_bandwidth_bps)
+            finally:
+                server.queue.release(req)
+            yield from self.fabric.transfer(
+                server.node.node_id, client.node_id, size
+            )
+        return nbytes

@@ -1,0 +1,82 @@
+"""BeeOND-style cache domain on node-local NVMe (section III-C, [12]).
+
+A cache layer between the application and the global BeeGFS: writes
+land in the node-local NVMe device first and reach the global file
+system either synchronously (write-through) or asynchronously
+(write-back, flushed by a background process).  "This speeds up the
+applications' I/O operations and reduces the frequency of accesses to
+the global storage."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..hardware.node import Node
+from ..sim import Process
+from .beegfs import BeeGFS
+
+__all__ = ["CacheMode", "BeeondCache"]
+
+
+class CacheMode(enum.Enum):
+    SYNC = "sync"  # write-through: local + global before returning
+    ASYNC = "async"  # write-back: local only; flush in background
+
+
+class BeeondCache:
+    """Per-node NVMe cache in front of the global file system."""
+
+    def __init__(self, fs: BeeGFS, mode: CacheMode = CacheMode.ASYNC):
+        self.fs = fs
+        self.sim = fs.sim
+        self.mode = CacheMode(mode)
+        #: (node_id, path) -> bytes dirty in cache, not yet global
+        self._dirty: Dict[Tuple[str, str], int] = {}
+        self._flushers: List[Process] = []
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- write path ----------------------------------------------------------
+    def write(self, client: Node, path: str, nbytes: int) -> Generator:
+        """Write through the cache domain."""
+        if client.nvme is None:
+            raise ValueError(f"node {client.node_id} has no NVMe cache device")
+        yield from client.nvme.write(f"beeond/{path}", nbytes)
+        if self.mode is CacheMode.SYNC:
+            yield from self.fs.write(client, path, nbytes)
+        else:
+            key = (client.node_id, path)
+            self._dirty[key] = nbytes
+            self._flushers.append(
+                self.sim.process(self._flush_one(client, path, nbytes))
+            )
+
+    def _flush_one(self, client: Node, path: str, nbytes: int) -> Generator:
+        yield from self.fs.write(client, path, nbytes)
+        self._dirty.pop((client.node_id, path), None)
+
+    def flush(self) -> Generator:
+        """Barrier: wait until all outstanding write-backs reach BeeGFS."""
+        pending = [p for p in self._flushers if not p.triggered]
+        for p in pending:
+            yield p
+        self._flushers = [p for p in self._flushers if not p.triggered]
+
+    # -- read path -----------------------------------------------------------
+    def read(self, client: Node, path: str) -> Generator:
+        """Read preferring the local NVMe cache copy."""
+        cached = client.nvme is not None and client.nvme.contains(f"beeond/{path}")
+        if cached:
+            self.cache_hits += 1
+            yield from client.nvme.read(f"beeond/{path}")
+            return client.nvme.object_size(f"beeond/{path}")
+        self.cache_misses += 1
+        nbytes = yield from self.fs.read(client, path)
+        return nbytes
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Write-back bytes not yet flushed to the global FS."""
+        return sum(self._dirty.values())

@@ -1,0 +1,130 @@
+"""Node allocation policies: modular vs accelerated-node.
+
+The paper contrasts the Cluster-Booster way (independent reservation of
+Cluster and Booster nodes, any combination) with conventional
+accelerated clusters, where accelerators are bolted to specific host
+nodes: there, an application occupying a host blocks its accelerator —
+and vice versa — even when it does not use it (section II, "the static
+arrangement of hardware resources ... limit[s] the accessibility to the
+accelerators").  Both policies are implemented so the scheduler bench
+can quantify the modularity advantage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..hardware.node import Node
+from .job import Job
+
+__all__ = ["ModularAllocator", "AcceleratedNodeAllocator", "AllocationError"]
+
+
+class AllocationError(Exception):
+    """Raised when a job requests more nodes than the machine has."""
+
+
+class ModularAllocator:
+    """Independent pools per module — the Cluster-Booster policy."""
+
+    def __init__(self, cluster_nodes: Sequence[Node], booster_nodes: Sequence[Node]):
+        self._free_cluster: List[Node] = list(cluster_nodes)
+        self._free_booster: List[Node] = list(booster_nodes)
+        self.total_cluster = len(self._free_cluster)
+        self.total_booster = len(self._free_booster)
+
+    def validate(self, job: Job) -> None:
+        """Reject jobs that could never fit the machine."""
+        if job.n_cluster > self.total_cluster or job.n_booster > self.total_booster:
+            raise AllocationError(
+                f"{job.name}: requests C{job.n_cluster}+B{job.n_booster}, "
+                f"machine has C{self.total_cluster}+B{self.total_booster}"
+            )
+
+    def can_allocate(self, job: Job) -> bool:
+        """Whether the job fits the currently free pools."""
+        return (
+            job.n_cluster <= len(self._free_cluster)
+            and job.n_booster <= len(self._free_booster)
+        )
+
+    def allocate(self, job: Job) -> Tuple[List[Node], List[Node]]:
+        """Take the job's nodes out of the free pools."""
+        if not self.can_allocate(job):
+            raise AllocationError(f"insufficient free nodes for {job.name}")
+        cn = [self._free_cluster.pop() for _ in range(job.n_cluster)]
+        bn = [self._free_booster.pop() for _ in range(job.n_booster)]
+        return cn, bn
+
+    def release(self, cluster_nodes: List[Node], booster_nodes: List[Node]) -> None:
+        """Return a job's nodes to the free pools."""
+        self._free_cluster.extend(cluster_nodes)
+        self._free_booster.extend(booster_nodes)
+
+    @property
+    def free_cluster(self) -> int:
+        """Free Cluster nodes right now."""
+        return len(self._free_cluster)
+
+    @property
+    def free_booster(self) -> int:
+        """Free Booster nodes right now."""
+        return len(self._free_booster)
+
+    def utilization_snapshot(self) -> Tuple[float, float]:
+        """(cluster, booster) busy fractions at this instant."""
+        c = 1.0 - len(self._free_cluster) / max(self.total_cluster, 1)
+        b = 1.0 - len(self._free_booster) / max(self.total_booster, 1)
+        return c, b
+
+
+class AcceleratedNodeAllocator(ModularAllocator):
+    """Host-coupled accelerators: the conventional-cluster baseline.
+
+    Accelerators are statically attached to hosts in a fixed ratio
+    (``boosters_per_host``).  Allocating a host removes its accelerators
+    from the pool and vice-versa: a booster request must also reserve
+    the attached host nodes.
+    """
+
+    def __init__(
+        self,
+        cluster_nodes: Sequence[Node],
+        booster_nodes: Sequence[Node],
+        boosters_per_host: Optional[float] = None,
+    ):
+        super().__init__(cluster_nodes, booster_nodes)
+        if boosters_per_host is None:
+            boosters_per_host = self.total_booster / max(self.total_cluster, 1)
+        if boosters_per_host <= 0:
+            raise ValueError("boosters_per_host must be positive")
+        self.boosters_per_host = boosters_per_host
+
+    def _hosts_needed(self, job: Job) -> int:
+        """Hosts a job must occupy: its own CPU demand plus enough
+        hosts to reach the accelerators it wants."""
+        import math
+
+        hosts_for_boosters = math.ceil(job.n_booster / self.boosters_per_host)
+        return max(job.n_cluster, hosts_for_boosters)
+
+    def can_allocate(self, job: Job) -> bool:
+        """Whether the job fits under host-coupling constraints."""
+        hosts = self._hosts_needed(job)
+        # occupied hosts also pin their attached accelerators
+        boosters_pinned = int(round(hosts * self.boosters_per_host))
+        return hosts <= len(self._free_cluster) and max(
+            job.n_booster, boosters_pinned
+        ) <= len(self._free_booster)
+
+    def allocate(self, job: Job) -> Tuple[List[Node], List[Node]]:
+        """Allocate hosts plus the accelerators they pin."""
+        if not self.can_allocate(job):
+            raise AllocationError(f"insufficient free nodes for {job.name}")
+        hosts = self._hosts_needed(job)
+        boosters_pinned = max(
+            job.n_booster, int(round(hosts * self.boosters_per_host))
+        )
+        cn = [self._free_cluster.pop() for _ in range(hosts)]
+        bn = [self._free_booster.pop() for _ in range(boosters_pinned)]
+        return cn, bn

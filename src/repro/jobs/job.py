@@ -1,0 +1,71 @@
+"""Jobs for the modular resource manager."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["JobState", "Job"]
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Job:
+    """A batch job requesting nodes from one or both modules.
+
+    The Cluster-Booster architecture "poses no constraints on the
+    combination of CPU and accelerator nodes that an application may
+    select, since resources are reserved and allocated independently"
+    (section II-A) — hence two independent node counts.
+    """
+
+    name: str
+    n_cluster: int
+    n_booster: int
+    duration_s: float
+    submit_time: float = 0.0
+    _ids = itertools.count()
+
+    def __post_init__(self):
+        if self.n_cluster < 0 or self.n_booster < 0:
+            raise ValueError("node counts cannot be negative")
+        if self.n_cluster == 0 and self.n_booster == 0:
+            raise ValueError("job must request at least one node")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.job_id = next(Job._ids)
+        self.state = JobState.PENDING
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.cluster_nodes: list = []
+        self.booster_nodes: list = []
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queue wait (None until the job starts)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def total_nodes(self) -> int:
+        """Nodes requested across both modules."""
+        return self.n_cluster + self.n_booster
+
+    def node_seconds(self) -> float:
+        """Requested node-seconds (work volume) of the job."""
+        return self.total_nodes * self.duration_s
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Job {self.name!r} C{self.n_cluster}+B{self.n_booster} "
+            f"{self.state.value}>"
+        )

@@ -1,0 +1,37 @@
+"""Modular Supercomputing: the DEEP-EST generalization (section VI).
+
+Any number of compute modules — Cluster and Booster are two — behind a
+unified fabric and resource manager, so "codes and work-flows [can]
+run distributed over the whole machine".
+"""
+
+from .config_io import (
+    load_config,
+    machine_from_config,
+    machine_to_config,
+    save_config,
+)
+from .machine import ModularMachine, build_modular_system
+from .scheduler import ModularJob, ModularScheduler, MultiModuleAllocator
+from .spec import (
+    ModuleSpec,
+    booster_module,
+    cluster_module,
+    data_analytics_module,
+)
+
+__all__ = [
+    "ModuleSpec",
+    "cluster_module",
+    "booster_module",
+    "data_analytics_module",
+    "ModularMachine",
+    "build_modular_system",
+    "ModularJob",
+    "MultiModuleAllocator",
+    "ModularScheduler",
+    "machine_to_config",
+    "machine_from_config",
+    "save_config",
+    "load_config",
+]

@@ -1,0 +1,147 @@
+"""Assembly of Modular Supercomputing systems (N compute modules).
+
+Generalizes the two-level Cluster-Booster fabric to any number of
+modules: each module's nodes attach to a module switch group, and the
+switch groups form a full mesh (so any inter-module route is 3 links,
+consistent with the Cluster-Booster case).  Storage and NAM devices
+attach to every switch group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..hardware import presets
+from ..hardware.machine import Machine
+from ..hardware.node import Node, NodeKind
+from ..hardware.nvme import NVMeDevice
+from ..network import Fabric, LinkSpec, TOURMALET_LINK
+from ..network.topology import Topology
+from ..sim import Simulator
+from .spec import ModuleSpec
+
+__all__ = ["ModularMachine", "build_modular_system"]
+
+
+class ModularMachine(Machine):
+    """A machine whose nodes belong to named modules."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, module_names: Sequence[str]):
+        super().__init__(sim, fabric)
+        self.module_names = list(module_names)
+
+    def module(self, name: str) -> List[Node]:
+        """Nodes of a module by name (overrides the kind-based lookup)."""
+        nodes = [n for n in self.all_nodes if n.module == name]
+        if nodes:
+            return nodes
+        return super().module(name)
+
+    def module_of(self, node_id: str) -> str:
+        """Module name a node belongs to."""
+        return self.node(node_id).module
+
+    def peak_flops_of_module(self, name: str) -> float:
+        """Aggregate peak flop/s of one module."""
+        return sum(n.peak_flops for n in self.module(name))
+
+
+def _build_mesh_topology(
+    sim: Simulator,
+    module_groups: Dict[str, List[str]],
+    storage_ids: Sequence[str],
+    nam_ids: Sequence[str],
+    link_spec: LinkSpec,
+    backbone_channels: int,
+) -> Topology:
+    topo = Topology(sim)
+    switches = {}
+    for name in module_groups:
+        sw = f"sw.{name}"
+        switches[name] = sw
+        topo.add_endpoint(sw, kind="switch")
+    backbone_spec = LinkSpec(
+        bandwidth_bps=link_spec.bandwidth_bps,
+        hop_latency_s=link_spec.hop_latency_s,
+        channels=backbone_channels,
+    )
+    names = list(module_groups)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            topo.add_link(switches[a], switches[b], backbone_spec)
+    for name, ids in module_groups.items():
+        for nid in ids:
+            topo.add_endpoint(nid)
+            topo.add_link(nid, switches[name], link_spec)
+    for sid in list(storage_ids) + list(nam_ids):
+        topo.add_endpoint(sid)
+        for sw in switches.values():
+            topo.add_link(sid, sw, link_spec)
+    return topo
+
+
+def build_modular_system(
+    modules: Sequence[ModuleSpec],
+    sim: Optional[Simulator] = None,
+    storage_nodes: int = presets.STORAGE_SERVER_COUNT,
+    nam_devices: int = presets.NAM_DEVICE_COUNT,
+    link_spec: LinkSpec = TOURMALET_LINK,
+    backbone_channels: int = 8,
+) -> ModularMachine:
+    """Build an N-module Modular Supercomputing system.
+
+    Example — the three-module DEEP-EST prototype shape::
+
+        machine = build_modular_system(
+            [cluster_module(), booster_module(), data_analytics_module()]
+        )
+        machine.module("dam")    # -> the DAM nodes
+    """
+    if not modules:
+        raise ValueError("need at least one module")
+    names = [m.name for m in modules]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate module names in {names}")
+    sim = sim or Simulator()
+
+    ids: Dict[str, List[str]] = {}
+    for spec in modules:
+        ids[spec.name] = [f"{spec.prefix}{i:02d}" for i in range(spec.node_count)]
+    prefixes = [spec.prefix for spec in modules]
+    if len(set(prefixes)) != len(prefixes):
+        raise ValueError(f"duplicate node prefixes {prefixes}; set node_prefix")
+
+    st_ids = [f"st{i}" for i in range(storage_nodes)]
+    nam_ids = [f"nam{i}" for i in range(nam_devices)]
+    topo = _build_mesh_topology(
+        sim, ids, st_ids, nam_ids, link_spec, backbone_channels
+    )
+    fabric = Fabric(sim, topo)
+    machine = ModularMachine(sim, fabric, names)
+
+    for spec in modules:
+        for nid in ids[spec.name]:
+            machine.add_node(
+                Node(
+                    node_id=nid,
+                    kind=spec.kind,
+                    processor=spec.processor,
+                    memory=spec.memory_factory(),
+                    nvme=NVMeDevice(sim) if spec.with_nvme else None,
+                    nic_sw_overhead_s=spec.nic_sw_overhead_s,
+                    module=spec.name,
+                )
+            )
+    for sid in st_ids:
+        machine.add_node(
+            Node(
+                node_id=sid,
+                kind=NodeKind.STORAGE,
+                nic_sw_overhead_s=presets.CLUSTER_NIC_OVERHEAD_S,
+            )
+        )
+    for nid in nam_ids:
+        machine.add_node(
+            Node(node_id=nid, kind=NodeKind.NAM, nic_sw_overhead_s=0.1e-6)
+        )
+    return machine

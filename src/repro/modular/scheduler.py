@@ -1,0 +1,246 @@
+"""Generalized N-module resource management (DEEP-EST outlook).
+
+Section VI: "One of the most important contributions expected from
+DEEP-EST is the further enhancement of resource management software and
+scheduling strategies to deal with any number of compute modules."
+
+This module provides exactly that generalization of
+:mod:`repro.jobs`: jobs request nodes per *module name*, the allocator
+keeps one independent pool per module, and the scheduler is FCFS with
+EASY backfill.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional
+
+from ..hardware.node import Node
+from ..jobs.allocator import AllocationError
+from ..jobs.job import JobState
+from ..sim import Simulator
+
+__all__ = ["ModularJob", "MultiModuleAllocator", "ModularScheduler"]
+
+
+@dataclass
+class ModularJob:
+    """A job requesting nodes from any combination of modules.
+
+    ``after`` lists jobs this one depends on (a workflow DAG, like
+    Slurm's ``--dependency=afterok``): it becomes eligible only once
+    every listed job has completed.
+    """
+
+    name: str
+    requests: Dict[str, int]
+    duration_s: float
+    submit_time: float = 0.0
+    after: tuple = ()
+    _ids = itertools.count()
+
+    def __post_init__(self):
+        if not self.requests or all(v == 0 for v in self.requests.values()):
+            raise ValueError("job must request at least one node")
+        if any(v < 0 for v in self.requests.values()):
+            raise ValueError("node counts cannot be negative")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.after = tuple(self.after)
+        for dep in self.after:
+            if not isinstance(dep, ModularJob):
+                raise TypeError("after must contain ModularJob instances")
+        self.requests = {k: v for k, v in self.requests.items() if v > 0}
+        self.job_id = next(ModularJob._ids)
+        self.state = JobState.PENDING
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.allocation: Dict[str, List[Node]] = {}
+
+    @property
+    def dependencies_met(self) -> bool:
+        """Whether every prerequisite job has completed."""
+        return all(d.state is JobState.COMPLETED for d in self.after)
+
+    @property
+    def total_nodes(self) -> int:
+        """Nodes requested across all modules."""
+        return sum(self.requests.values())
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queue wait (None until the job starts)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+
+class MultiModuleAllocator:
+    """One independent free pool per module."""
+
+    def __init__(self, pools: Dict[str, List[Node]]):
+        if not pools:
+            raise ValueError("need at least one module pool")
+        self._free: Dict[str, List[Node]] = {k: list(v) for k, v in pools.items()}
+        self.totals = {k: len(v) for k, v in self._free.items()}
+
+    def validate(self, job: ModularJob) -> None:
+        """Reject jobs that could never fit any module pool."""
+        for mod, n in job.requests.items():
+            if mod not in self.totals:
+                raise AllocationError(f"{job.name}: unknown module {mod!r}")
+            if n > self.totals[mod]:
+                raise AllocationError(
+                    f"{job.name}: wants {n} {mod} nodes, module has "
+                    f"{self.totals[mod]}"
+                )
+
+    def can_allocate(self, job: ModularJob) -> bool:
+        """Whether every requested module has enough free nodes."""
+        return all(
+            n <= len(self._free.get(mod, ())) for mod, n in job.requests.items()
+        )
+
+    def allocate(self, job: ModularJob) -> Dict[str, List[Node]]:
+        """Take the requested nodes out of each module pool."""
+        if not self.can_allocate(job):
+            raise AllocationError(f"insufficient free nodes for {job.name}")
+        return {
+            mod: [self._free[mod].pop() for _ in range(n)]
+            for mod, n in job.requests.items()
+        }
+
+    def release(self, allocation: Dict[str, List[Node]]) -> None:
+        """Return an allocation to the module pools."""
+        for mod, nodes in allocation.items():
+            self._free[mod].extend(nodes)
+
+    def free_count(self, module: str) -> int:
+        """Free nodes currently available in one module."""
+        return len(self._free[module])
+
+
+class ModularScheduler:
+    """FCFS + EASY backfill over any number of modules."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        allocator: MultiModuleAllocator,
+        backfill: bool = True,
+    ):
+        self.sim = sim
+        self.allocator = allocator
+        self.backfill = backfill
+        self.queue: Deque[ModularJob] = deque()
+        self.jobs: List[ModularJob] = []
+        self._kick = sim.event()
+        sim.process(self._loop())
+        self.last_completion = 0.0
+
+    def submit(self, job: ModularJob, delay: float = 0.0) -> ModularJob:
+        """Submit one job (optionally after a delay)."""
+        self.allocator.validate(job)
+        self.jobs.append(job)
+        self.sim.process(self._arrive(job, delay))
+        return job
+
+    def submit_all(self, jobs: Iterable[ModularJob]) -> None:
+        """Submit a stream of jobs at their recorded submit times."""
+        for job in jobs:
+            self.submit(job, delay=max(0.0, job.submit_time - self.sim.now))
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last finished job."""
+        return self.last_completion
+
+    def mean_wait(self) -> float:
+        """Mean queue wait over all started jobs."""
+        waits = [j.wait_time for j in self.jobs if j.wait_time is not None]
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def module_utilization(self, module: str) -> float:
+        """Useful node-seconds over capacity for one module."""
+        used = sum(
+            j.requests.get(module, 0) * j.duration_s
+            for j in self.jobs
+            if j.state is JobState.COMPLETED
+        )
+        capacity = self.allocator.totals[module] * self.makespan
+        return used / capacity if capacity > 0 else 0.0
+
+    # -- internals -----------------------------------------------------------
+    def _arrive(self, job: ModularJob, delay: float):
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        job.submit_time = self.sim.now
+        self.queue.append(job)
+        self._wake()
+
+    def _wake(self) -> None:
+        if not self._kick.triggered:
+            self._kick.succeed()
+
+    def _loop(self):
+        while True:
+            self._try_start()
+            self._kick = self.sim.event()
+            yield self._kick
+
+    def _try_start(self) -> None:
+        if not self.queue:
+            return
+        while (
+            self.queue
+            and self.queue[0].dependencies_met
+            and self.allocator.can_allocate(self.queue[0])
+        ):
+            self._start(self.queue.popleft())
+        if not self.queue:
+            return
+        # a blocked head (dependencies or resources) never starves
+        # independent later jobs: dependency-free jobs may overtake it
+        for job in list(self.queue)[1:] if self.backfill else []:
+            if not job.dependencies_met:
+                continue
+            head_start = self._estimate_head_start()
+            if self.allocator.can_allocate(job) and (
+                not self.queue[0].dependencies_met
+                or head_start is None
+                or self.sim.now + job.duration_s <= head_start
+            ):
+                self.queue.remove(job)
+                self._start(job)
+
+    def _estimate_head_start(self) -> Optional[float]:
+        head = self.queue[0]
+        running = sorted(
+            (j for j in self.jobs if j.state is JobState.RUNNING),
+            key=lambda j: j.start_time + j.duration_s,
+        )
+        free = {m: self.allocator.free_count(m) for m in self.allocator.totals}
+        for j in running:
+            for mod, nodes in j.allocation.items():
+                free[mod] += len(nodes)
+            if all(
+                free.get(mod, 0) >= n for mod, n in head.requests.items()
+            ):
+                return j.start_time + j.duration_s
+        return None
+
+    def _start(self, job: ModularJob) -> None:
+        job.allocation = self.allocator.allocate(job)
+        job.state = JobState.RUNNING
+        job.start_time = self.sim.now
+        self.sim.process(self._run(job))
+
+    def _run(self, job: ModularJob):
+        yield self.sim.timeout(job.duration_s)
+        job.state = JobState.COMPLETED
+        job.end_time = self.sim.now
+        self.last_completion = max(self.last_completion, self.sim.now)
+        self.allocator.release(job.allocation)
+        self._wake()

@@ -1,0 +1,160 @@
+"""Cartesian process topologies (MPI_Cart_create family).
+
+Domain-decomposed codes (like the 2D xPic) address neighbours by grid
+direction rather than rank arithmetic; this module provides the
+standard MPI helpers: dimension factorization, a Cartesian view of a
+communicator, coordinate <-> rank conversion, and neighbour shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from .communicator import Comm
+from .errors import CommError, RankError
+
+__all__ = ["dims_create", "CartComm", "cart_create"]
+
+
+def dims_create(nnodes: int, ndims: int) -> List[int]:
+    """Factor ``nnodes`` into ``ndims`` balanced dimensions
+    (MPI_Dims_create): the result is sorted descending and as close to
+    a hypercube as the factorization allows."""
+    if nnodes < 1 or ndims < 1:
+        raise ValueError("need positive node and dimension counts")
+    dims = [1] * ndims
+    remaining = nnodes
+    # repeatedly assign the largest prime factor to the smallest dim
+    factor = 2
+    factors = []
+    while remaining > 1:
+        while remaining % factor == 0:
+            factors.append(factor)
+            remaining //= factor
+        factor += 1 if factor == 2 else 2
+        if factor * factor > remaining and remaining > 1:
+            factors.append(remaining)
+            break
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    return sorted(dims, reverse=True)
+
+
+class CartComm:
+    """A rank's Cartesian view of its communicator."""
+
+    def __init__(
+        self,
+        comm: Comm,
+        dims: Sequence[int],
+        periods: Sequence[bool],
+    ):
+        if len(dims) != len(periods):
+            raise ValueError("dims and periods must have equal length")
+        size = 1
+        for d in dims:
+            if d < 1:
+                raise ValueError("dimensions must be positive")
+            size *= d
+        if size != comm.size:
+            raise CommError(
+                f"cartesian grid {tuple(dims)} needs {size} ranks, "
+                f"communicator has {comm.size}"
+            )
+        self.comm = comm
+        self.dims = tuple(dims)
+        self.periods = tuple(bool(p) for p in periods)
+
+    # -- coordinates -----------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This rank's number in the underlying communicator."""
+        return self.comm.rank
+
+    @property
+    def coords(self) -> Tuple[int, ...]:
+        """This rank's Cartesian coordinates."""
+        return self.rank_to_coords(self.comm.rank)
+
+    def rank_to_coords(self, rank: int) -> Tuple[int, ...]:
+        """Cartesian coordinates of a rank (row-major)."""
+        if not 0 <= rank < self.comm.size:
+            raise RankError(f"rank {rank} outside the grid")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(rank % d)
+            rank //= d
+        return tuple(reversed(coords))
+
+    def coords_to_rank(self, coords: Sequence[int]) -> Optional[int]:
+        """Rank at ``coords`` (None if off a non-periodic edge)."""
+        if len(coords) != len(self.dims):
+            raise ValueError("coordinate arity mismatch")
+        rank = 0
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if p:
+                c %= d
+            elif not 0 <= c < d:
+                return None
+            rank = rank * d + c
+        return rank
+
+    # -- neighbours ----------------------------------------------------------
+    def shift(self, direction: int, disp: int = 1) -> Tuple[Optional[int], Optional[int]]:
+        """(source, dest) ranks for a shift along ``direction``
+        (MPI_Cart_shift); None at a non-periodic boundary."""
+        if not 0 <= direction < len(self.dims):
+            raise ValueError(f"no dimension {direction}")
+        me = list(self.coords)
+        up = list(me)
+        up[direction] += disp
+        down = list(me)
+        down[direction] -= disp
+        return self.coords_to_rank(down), self.coords_to_rank(up)
+
+    def neighbours(self) -> List[int]:
+        """All existing nearest neighbours, deduplicated."""
+        out = []
+        for d in range(len(self.dims)):
+            src, dst = self.shift(d)
+            for r in (src, dst):
+                if r is not None and r != self.rank and r not in out:
+                    out.append(r)
+        return out
+
+    # -- convenience exchange ----------------------------------------------
+    def shift_exchange(self, payload, direction: int, disp: int = 1,
+                       tag: int = 0) -> Generator:
+        """Sendrecv along a shift: send towards +direction, receive
+        from -direction.  Returns the received payload (None at an
+        open boundary)."""
+        src, dst = self.shift(direction, disp)
+        if dst is None and src is None:
+            return None
+        if dst is not None and src is not None:
+            got = yield from self.comm.sendrecv(
+                payload, dest=dst, source=src, sendtag=tag, recvtag=tag
+            )
+            return got
+        if dst is not None:
+            yield from self.comm.send(payload, dest=dst, tag=tag)
+            return None
+        got = yield from self.comm.recv(source=src, tag=tag)
+        return got
+
+
+def cart_create(
+    comm: Comm,
+    dims: Optional[Sequence[int]] = None,
+    ndims: int = 2,
+    periods: Optional[Sequence[bool]] = None,
+) -> CartComm:
+    """Create a Cartesian view (MPI_Cart_create, reorder=false).
+
+    With ``dims=None`` the grid shape is chosen by :func:`dims_create`.
+    """
+    if dims is None:
+        dims = dims_create(comm.size, ndims)
+    if periods is None:
+        periods = [True] * len(dims)
+    return CartComm(comm, dims, periods)

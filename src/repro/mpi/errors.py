@@ -1,0 +1,21 @@
+"""MPI-layer exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["MPIError", "RankError", "CommError", "TruncationError"]
+
+
+class MPIError(Exception):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class RankError(MPIError):
+    """An operation referenced a rank outside the communicator."""
+
+
+class CommError(MPIError):
+    """Misuse of a communicator (wrong group, reuse after free, ...)."""
+
+
+class TruncationError(MPIError):
+    """A receive buffer was smaller than the incoming message."""

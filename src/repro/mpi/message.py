@@ -1,0 +1,40 @@
+"""Wire messages and matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .datatypes import ANY_SOURCE, ANY_TAG
+
+__all__ = ["Envelope", "match"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message as it sits in a process's mailbox.
+
+    ``context_id`` isolates communicators from each other (messages on
+    different communicators never match), exactly as MPI contexts do.
+    ``source`` is the sender's rank *within that communicator* (for an
+    inter-communicator: the rank in the remote group).
+    """
+
+    context_id: int
+    source: int
+    tag: int
+    nbytes: int
+    payload: Any
+
+
+def match(context_id: int, source: int, tag: int):
+    """Build a mailbox filter implementing MPI matching semantics."""
+
+    def _filter(env: Envelope) -> bool:
+        return (
+            env.context_id == context_id
+            and (source == ANY_SOURCE or env.source == source)
+            and (tag == ANY_TAG or env.tag == tag)
+        )
+
+    return _filter

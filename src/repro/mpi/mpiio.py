@@ -1,0 +1,112 @@
+"""MPI-IO: collective file access over the parallel file system.
+
+Binds the MPI layer to the BeeGFS model, mirroring the mpi4py
+``MPI.File`` API shape: collective open, per-rank offset writes
+(``write_at``), and collective writes (``write_at_all``) where all
+ranks participate before anyone proceeds.
+
+SIONlib (section III-C) remains the recommended task-local path; this
+module provides the standard-API alternative the software stack also
+keeps available ("stick, as much as possible, to standards").
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..io.beegfs import BeeGFS
+from .communicator import Comm
+from .errors import MPIError
+
+__all__ = ["File", "MODE_CREATE", "MODE_RDONLY", "MODE_WRONLY", "MODE_RDWR"]
+
+MODE_RDONLY = 1
+MODE_WRONLY = 2
+MODE_RDWR = 3
+MODE_CREATE = 4
+
+
+class File:
+    """A file handle shared by all ranks of a communicator."""
+
+    def __init__(self, comm: Comm, fs: BeeGFS, path: str, amode: int):
+        self.comm = comm
+        self.fs = fs
+        self.path = path
+        self.amode = amode
+        self._open = True
+
+    # -- collective open/close -----------------------------------------------
+    @staticmethod
+    def open(comm: Comm, fs: BeeGFS, path: str, amode: int = MODE_RDONLY) -> Generator:
+        """Collective open (all ranks of ``comm`` must call)."""
+        if amode & MODE_CREATE:
+            if comm.rank == 0 and not fs.exists(path):
+                client = comm.group.proc(0).node
+                yield from fs.create(client, path)
+            yield from comm.barrier()
+        else:
+            if not fs.exists(path):
+                raise MPIError(f"no such file: {path}")
+            yield from comm.barrier()
+        return File(comm, fs, path, amode)
+
+    def close(self) -> Generator:
+        """Collective close."""
+        yield from self.comm.barrier()
+        self._open = False
+
+    # -- per-rank (independent) access -------------------------------------
+    def _my_node(self):
+        return self.comm.group.proc(self.comm.rank).node
+
+    def write_at(self, offset: int, nbytes: int) -> Generator:
+        """Independent write of ``nbytes`` at ``offset``."""
+        self._check_writable()
+        yield from self.fs.write(self._my_node(), self.path, nbytes, offset=offset)
+
+    def read_at(self, offset: int, nbytes: int) -> Generator:
+        """Independent read (timing only; contents are not modelled)."""
+        self._check_open()
+        if self.amode == MODE_WRONLY:
+            raise MPIError("file opened write-only")
+        got = yield from self.fs.read(self._my_node(), self.path, nbytes)
+        return got
+
+    # -- collective access ----------------------------------------------------
+    def write_at_all(self, nbytes_per_rank: int) -> Generator:
+        """Collective write: rank i writes its block at i * nbytes.
+
+        All ranks synchronize afterwards, like MPI_File_write_at_all.
+        """
+        self._check_writable()
+        offset = self.comm.rank * nbytes_per_rank
+        yield from self.fs.write(
+            self._my_node(), self.path, nbytes_per_rank, offset=offset
+        )
+        yield from self.comm.barrier()
+
+    def read_at_all(self, nbytes_per_rank: int) -> Generator:
+        """Collective read of rank-contiguous blocks."""
+        self._check_open()
+        if self.amode == MODE_WRONLY:
+            raise MPIError("file opened write-only")
+        got = yield from self.fs.read(
+            self._my_node(), self.path, nbytes_per_rank
+        )
+        yield from self.comm.barrier()
+        return got
+
+    def size(self) -> int:
+        """Current file size in bytes."""
+        return self.fs.file_size(self.path)
+
+    # -- guards ----------------------------------------------------------------
+    def _check_open(self) -> None:
+        if not self._open:
+            raise MPIError("file already closed")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self.amode & MODE_RDONLY and not self.amode & MODE_WRONLY:
+            raise MPIError("file opened read-only")

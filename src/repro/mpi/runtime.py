@@ -1,0 +1,263 @@
+"""The simulated MPI runtime: processes, groups, transport, launching.
+
+Plays the role ParaStation MPI plays on the prototype: it starts rank
+processes on nodes, carries messages over the EXTOLL fabric model, and
+implements the global-MPI spawn mechanism used to bridge Cluster and
+Booster (section III-A of the paper).
+
+Application code is written as Python generators receiving a
+:class:`RankContext`::
+
+    def app(ctx):
+        if ctx.world.rank == 0:
+            yield from ctx.world.send(data, dest=1)
+        else:
+            data = yield from ctx.world.recv(source=0)
+
+Sends have buffered (eager-style) completion semantics: a send blocks
+for the wire time of the message, never for the matching receive, so
+classic head-to-head exchanges cannot deadlock.  The rendezvous
+handshake for large messages is charged inside the wire-time model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from ..hardware.machine import Machine
+from ..hardware.node import Node
+from ..sim import Process, Simulator, Store
+from .datatypes import payload_nbytes
+from .errors import CommError, RankError
+from .message import Envelope
+
+__all__ = ["MPIProcess", "GroupState", "MPIRuntime"]
+
+
+class MPIProcess:
+    """One MPI rank: a mailbox plus its pinned node."""
+
+    _ids = itertools.count()
+
+    def __init__(self, runtime: "MPIRuntime", node: Node):
+        self.gid = next(MPIProcess._ids)
+        self.runtime = runtime
+        self.node = node
+        self.mailbox = Store(runtime.sim)
+        self.sim_process: Optional[Process] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MPIProcess gid={self.gid} on {self.node.node_id}>"
+
+
+class GroupState:
+    """Shared state of a communicator's process group.
+
+    Owns two MPI context ids — one for point-to-point traffic, one for
+    collectives — so library-internal messages can never match user
+    receives (the same trick real MPI implementations use).
+    """
+
+    def __init__(self, runtime: "MPIRuntime", procs: List[MPIProcess], name: str):
+        if not procs:
+            raise CommError("cannot create an empty group")
+        self.runtime = runtime
+        self.procs = procs
+        self.name = name
+        self.context_pt2pt = runtime.next_context()
+        self.context_coll = runtime.next_context()
+        # Rendezvous area for collectively-created objects (spawn):
+        # op sequence number -> created object.
+        self.spawn_results: dict = {}
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the group."""
+        return len(self.procs)
+
+    def proc(self, rank: int) -> MPIProcess:
+        """The member process at a rank (validates the rank)."""
+        if not 0 <= rank < len(self.procs):
+            raise RankError(
+                f"rank {rank} out of range for group {self.name!r} "
+                f"of size {len(self.procs)}"
+            )
+        return self.procs[rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<GroupState {self.name!r} size={self.size}>"
+
+
+class RankContext:
+    """Everything one rank's application code needs.
+
+    Attributes
+    ----------
+    world:
+        The rank's view of its ``MPI_COMM_WORLD``.
+    node:
+        The hardware node this rank is pinned to.
+    """
+
+    def __init__(
+        self,
+        runtime: "MPIRuntime",
+        proc: MPIProcess,
+        world: "Comm",  # noqa: F821
+        parent: Optional["Comm"] = None,  # noqa: F821
+    ):
+        self.runtime = runtime
+        self.proc = proc
+        self.world = world
+        self._parent = parent
+
+    @property
+    def sim(self) -> Simulator:
+        return self.runtime.sim
+
+    @property
+    def node(self) -> Node:
+        return self.proc.node
+
+    @property
+    def rank(self) -> int:
+        return self.world.rank
+
+    def compute(self, seconds: float):
+        """An event representing ``seconds`` of local computation."""
+        if seconds < 0:
+            raise ValueError("negative compute time")
+        return self.sim.timeout(seconds)
+
+    def execute(self, kernel, threads: Optional[int] = None) -> Generator:
+        """Run a perf-model kernel on this rank's node (simulated time).
+
+        Returns the modeled duration in seconds.
+        """
+        from ..perfmodel import time_on_node  # late import: avoid cycle
+
+        duration = time_on_node(self.node, kernel, threads=threads)
+        yield self.sim.timeout(duration)
+        return duration
+
+    def get_parent(self) -> Optional["Comm"]:  # noqa: F821
+        """The inter-communicator to the spawning application, if any
+        (``MPI_Comm_get_parent`` equivalent)."""
+        return self._parent
+
+
+class MPIRuntime:
+    """Factory and transport for simulated MPI jobs on one machine."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.sim = machine.sim
+        self.fabric = machine.fabric
+        self._context_counter = itertools.count(1)
+        #: per-context traffic accounting: context_id -> [messages, bytes]
+        self.traffic: dict = {}
+
+    def next_context(self) -> int:
+        """Allocate a fresh MPI context id."""
+        return next(self._context_counter)
+
+    # -- transport ---------------------------------------------------------
+    def transmit(
+        self,
+        src_proc: MPIProcess,
+        dst_proc: MPIProcess,
+        context_id: int,
+        source_rank: int,
+        tag: int,
+        payload: Any,
+        nbytes: Optional[int] = None,
+    ) -> Generator:
+        """Move one message from ``src_proc`` to ``dst_proc`` (a process)."""
+        n = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        stats = self.traffic.setdefault(context_id, [0, 0])
+        stats[0] += 1
+        stats[1] += n
+        yield from self.fabric.transfer(
+            src_proc.node.node_id, dst_proc.node.node_id, n
+        )
+        yield dst_proc.mailbox.put(
+            Envelope(
+                context_id=context_id,
+                source=source_rank,
+                tag=tag,
+                nbytes=n,
+                payload=payload,
+            )
+        )
+
+    # -- launching ---------------------------------------------------------
+    def _place(
+        self, nodes: Sequence[Node], nprocs: int, procs_per_node: int
+    ) -> List[Node]:
+        if nprocs <= 0:
+            raise ValueError("need at least one process")
+        if procs_per_node <= 0:
+            raise ValueError("procs_per_node must be positive")
+        capacity = len(nodes) * procs_per_node
+        if nprocs > capacity:
+            raise ValueError(
+                f"cannot place {nprocs} ranks on {len(nodes)} nodes "
+                f"({procs_per_node} per node)"
+            )
+        placement = []
+        for i in range(nprocs):
+            placement.append(nodes[i // procs_per_node])
+        return placement
+
+    def launch(
+        self,
+        app: Callable[[RankContext], Generator],
+        nodes: Sequence[Node],
+        nprocs: Optional[int] = None,
+        procs_per_node: int = 1,
+        name: str = "world",
+        parent_maker: Optional[Callable[[GroupState, int], "Comm"]] = None,  # noqa: F821
+    ) -> List[Process]:
+        """Start ``nprocs`` ranks of ``app`` over ``nodes``.
+
+        Returns one sim :class:`Process` per rank; each succeeds with
+        the application generator's return value.  ``parent_maker`` is
+        used internally by spawn to hand children their parent
+        inter-communicator.
+        """
+        from .communicator import Comm  # late import: avoid cycle
+
+        nprocs = nprocs if nprocs is not None else len(nodes) * procs_per_node
+        placement = self._place(nodes, nprocs, procs_per_node)
+        procs = [MPIProcess(self, node) for node in placement]
+        group = GroupState(self, procs, name=name)
+        sim_procs = []
+        for rank, proc in enumerate(procs):
+            world_view = Comm(group, rank)
+            parent = parent_maker(group, rank) if parent_maker else None
+            ctx = RankContext(self, proc, world_view, parent=parent)
+            proc.sim_process = self.sim.process(app(ctx))
+            sim_procs.append(proc.sim_process)
+        return sim_procs
+
+    def run_app(
+        self,
+        app: Callable[[RankContext], Generator],
+        nodes: Sequence[Node],
+        nprocs: Optional[int] = None,
+        procs_per_node: int = 1,
+        until: Optional[float] = None,
+    ) -> List[Any]:
+        """Launch, run the simulation to completion, return rank results."""
+        sim_procs = self.launch(
+            app, nodes, nprocs=nprocs, procs_per_node=procs_per_node
+        )
+        self.sim.run(until=until)
+        unfinished = [i for i, p in enumerate(sim_procs) if not p.triggered]
+        if unfinished:
+            raise RuntimeError(
+                f"ranks {unfinished} never completed "
+                "(deadlock or missing message?)"
+            )
+        return [p.value for p in sim_procs]

@@ -1,0 +1,26 @@
+"""Receive status (MPI_Status equivalent)."""
+
+from __future__ import annotations
+
+from .datatypes import ANY_SOURCE, ANY_TAG
+
+__all__ = ["Status"]
+
+
+class Status:
+    """Filled in by a receive: actual source, tag, and message size."""
+
+    __slots__ = ("source", "tag", "nbytes")
+
+    def __init__(self):
+        self.source = ANY_SOURCE
+        self.tag = ANY_TAG
+        self.nbytes = 0
+
+    def _set(self, source: int, tag: int, nbytes: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Status source={self.source} tag={self.tag} nbytes={self.nbytes}>"

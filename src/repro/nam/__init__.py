@@ -1,0 +1,9 @@
+"""Network Attached Memory: fabric-attached HMC+FPGA devices.
+
+Globally accessible memory without a remote CPU (section II-B); used
+by the resiliency stack as a fast shared checkpoint level.
+"""
+
+from .device import NAMDevice, NAMFullError, NAMRegion
+
+__all__ = ["NAMDevice", "NAMRegion", "NAMFullError"]

@@ -1,0 +1,117 @@
+"""Network Attached Memory (NAM) device model (section II-B, ref [6]).
+
+HMC memory behind a Virtex-7 FPGA, attached directly to the EXTOLL
+fabric: any node reaches it via remote DMA *without any CPU on the
+remote side* — the defining property versus Kove-style appliances
+(section V).  The prototype carries two devices of 2 GB each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..hardware.machine import Machine
+from ..hardware.node import Node
+from ..sim import Resource
+
+__all__ = ["NAMDevice", "NAMRegion", "NAMFullError"]
+
+
+class NAMFullError(Exception):
+    """Allocation request exceeding the remaining HMC capacity."""
+
+
+class NAMRegion:
+    """A named, allocated byte range on a NAM device."""
+
+    __slots__ = ("name", "nbytes", "device", "written")
+
+    def __init__(self, name: str, nbytes: int, device: "NAMDevice"):
+        self.name = name
+        self.nbytes = nbytes
+        self.device = device
+        self.written = 0
+
+
+class NAMDevice:
+    """One NAM: allocation bookkeeping plus RDMA-timed access."""
+
+    #: HMC access latency behind the FPGA pipeline.
+    FPGA_LATENCY_S = 0.7e-6
+    #: Sustained HMC bandwidth achievable through the FPGA.
+    HMC_BANDWIDTH_BPS = 10e9
+
+    def __init__(self, machine: Machine, node: Node, capacity_bytes: int = 2 * 10**9):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.machine = machine
+        self.sim = machine.sim
+        self.fabric = machine.fabric
+        self.node = node
+        self.capacity_bytes = capacity_bytes
+        self._regions: Dict[str, NAMRegion] = {}
+        # The FPGA serves one RDMA engine; concurrent ops queue.
+        self._engine = Resource(self.sim, capacity=1)
+
+    # -- allocation ---------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        """HMC bytes currently reserved by regions."""
+        return sum(r.nbytes for r in self._regions.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """HMC bytes still available for allocation."""
+        return self.capacity_bytes - self.allocated_bytes
+
+    def allocate(self, name: str, nbytes: int) -> NAMRegion:
+        """Reserve a named region of HMC capacity."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if nbytes <= 0:
+            raise ValueError("region size must be positive")
+        if nbytes > self.free_bytes:
+            raise NAMFullError(
+                f"requested {nbytes} B, only {self.free_bytes} B free"
+            )
+        region = NAMRegion(name, nbytes, self)
+        self._regions[name] = region
+        return region
+
+    def free(self, name: str) -> None:
+        """Release a named region (idempotent)."""
+        self._regions.pop(name, None)
+
+    def region(self, name: str) -> NAMRegion:
+        """Look up an allocated region by name."""
+        return self._regions[name]
+
+    # -- RDMA access ----------------------------------------------------------
+    def _access(self, client: Node, nbytes: int, to_nam: bool) -> Generator:
+        req = self._engine.request()
+        yield req
+        try:
+            src = client.node_id if to_nam else self.node.node_id
+            dst = self.node.node_id if to_nam else client.node_id
+            yield from self.fabric.transfer(src, dst, nbytes, rdma=True)
+            yield self.sim.timeout(
+                self.FPGA_LATENCY_S + nbytes / self.HMC_BANDWIDTH_BPS
+            )
+        finally:
+            self._engine.release(req)
+
+    def put(self, client: Node, name: str, nbytes: Optional[int] = None) -> Generator:
+        """RDMA write from ``client`` into a region."""
+        region = self._regions[name]
+        nbytes = region.nbytes if nbytes is None else nbytes
+        if nbytes > region.nbytes:
+            raise ValueError("write exceeds region size")
+        yield from self._access(client, nbytes, to_nam=True)
+        region.written = max(region.written, nbytes)
+
+    def get(self, client: Node, name: str, nbytes: Optional[int] = None) -> Generator:
+        """RDMA read from a region into ``client``'s memory."""
+        region = self._regions[name]
+        nbytes = region.written if nbytes is None else nbytes
+        yield from self._access(client, nbytes, to_nam=False)
+        return nbytes

@@ -1,0 +1,219 @@
+"""End-to-end message transport over the fabric.
+
+The message cost model is LogGP-flavoured:
+
+    t(msg) = o_send + o_recv            (per-side CPU software overhead)
+           + hops * L                   (per-hop wire/switch latency)
+           + n / (G_eff)                (serialization at bottleneck bw)
+           + [rendezvous handshake]     (for messages above the eager
+                                         threshold: one extra round trip)
+
+The software overheads live on the *nodes* (KNL cores process the MPI
+stack more slowly — footnote 1 of the paper); the wire terms live on
+the links.  Contention is modelled by occupying every link of the route
+for the serialization time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from ..hardware.node import Node
+from ..sim import Simulator
+from .topology import Topology
+
+__all__ = [
+    "Fabric",
+    "NodeFailedError",
+    "EAGER_THRESHOLD_BYTES",
+    "PROTOCOL_EFFICIENCY",
+]
+
+
+class NodeFailedError(Exception):
+    """A transfer was attempted to or from a failed node."""
+
+#: ParaStation-MPI-like eager/rendezvous switch point.
+EAGER_THRESHOLD_BYTES = 32 * 1024
+
+#: Fraction of raw link bandwidth achievable by the MPI payload
+#: (headers, cells, flow control).  Calibrated so the large-message
+#: plateau of Fig 3 sits near 10 GByte/s on a 12.5 GByte/s link.
+PROTOCOL_EFFICIENCY = 0.82
+
+
+class Fabric:
+    """Transfers bytes between endpoints of a :class:`Topology`.
+
+    Endpoints are :class:`~repro.hardware.node.Node` objects registered
+    under their ``node_id``.  The fabric caches routes (the topology is
+    static).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        eager_threshold: int = EAGER_THRESHOLD_BYTES,
+        protocol_efficiency: float = PROTOCOL_EFFICIENCY,
+    ):
+        if not 0 < protocol_efficiency <= 1:
+            raise ValueError("protocol efficiency must be in (0, 1]")
+        self.sim = sim
+        self.topology = topology
+        self.eager_threshold = eager_threshold
+        self.protocol_efficiency = protocol_efficiency
+        self._nodes: Dict[str, Node] = {}
+        self._route_cache: Dict[Tuple[str, str], list] = {}
+        self.bytes_transferred = 0
+        self.messages_transferred = 0
+        #: optional :class:`~repro.sim.Tracer`: every transfer is
+        #: recorded as an interval on a per-link actor ("cn00<->sw.…"),
+        #: so fabric occupancy renders as a Gantt chart
+        self.tracer = None
+
+    # -- registration -----------------------------------------------------
+    def register_node(self, node: Node) -> None:
+        """Attach a node object to its topology endpoint."""
+        if node.node_id not in self.topology.graph:
+            raise KeyError(f"{node.node_id} not present in topology")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> Node:
+        """Look a registered node up by id."""
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> Dict[str, Node]:
+        """Copy of the registered node mapping."""
+        return dict(self._nodes)
+
+    # -- routing ------------------------------------------------------------
+    def route(self, src: str, dst: str) -> list:
+        """The (cached) list of links between two endpoints."""
+        return [link for link, _fwd in self.directed_route(src, dst)]
+
+    def directed_route(self, src: str, dst: str) -> list:
+        """The (cached) (link, forward) pairs between two endpoints."""
+        key = (src, dst)
+        if key not in self._route_cache:
+            path = self.topology.shortest_path(src, dst)
+            self._route_cache[key] = self.topology.directed_links_on_path(path)
+        return self._route_cache[key]
+
+    def fail_link(self, u: str, v: str) -> None:
+        """Fail a fabric link; subsequent traffic reroutes around it.
+
+        Raises ``networkx.NetworkXNoPath`` later if a destination
+        becomes unreachable.
+        """
+        self.topology.fail_link(u, v)
+        self._route_cache.clear()
+
+    def restore_link(self, u: str, v: str) -> None:
+        """Return a previously failed link to service and re-route."""
+        self.topology.restore_link(u, v)
+        self._route_cache.clear()
+
+    def hops(self, src: str, dst: str) -> int:
+        """Number of links on the route between two endpoints."""
+        return len(self.route(src, dst))
+
+    # -- analytic cost model ----------------------------------------------
+    def wire_time(self, src: str, dst: str, nbytes: int) -> float:
+        """Latency + serialization along the route, without CPU overheads."""
+        links = self.route(src, dst)
+        lat = sum(l.spec.hop_latency_s for l in links)
+        bw = min(l.spec.bandwidth_bps for l in links) * self.protocol_efficiency
+        return lat + nbytes / bw
+
+    def transfer_time(
+        self, src: str, dst: str, nbytes: int, rdma: bool = False
+    ) -> float:
+        """No-contention end-to-end message time (the LogGP sum)."""
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        src_node, dst_node = self._nodes[src], self._nodes[dst]
+        if rdma:
+            # Remote DMA: no software processing on the remote side.
+            overhead = src_node.nic_sw_overhead_s
+        else:
+            overhead = src_node.nic_sw_overhead_s + dst_node.nic_sw_overhead_s
+        t = overhead + self.wire_time(src, dst, nbytes)
+        if not rdma and nbytes > self.eager_threshold:
+            # Rendezvous: request-to-send / clear-to-send round trip.
+            links = self.route(src, dst)
+            rtt = 2 * sum(l.spec.hop_latency_s for l in links)
+            t += rtt + dst_node.nic_sw_overhead_s
+        return t
+
+    # -- simulated transfer (with contention) -------------------------------
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        rdma: bool = False,
+    ) -> Generator:
+        """Simulation process performing one message transfer.
+
+        Acquires every link of the route (in canonical order, which
+        prevents deadlock) for the serialization time, so concurrent
+        messages crossing a shared link queue behind each other.
+
+        Transfers touching a failed node raise :class:`NodeFailedError`
+        (the NIC stops responding with its host).
+        """
+        for endpoint in (src, dst):
+            node = self._nodes.get(endpoint)
+            if node is not None and node.failed:
+                raise NodeFailedError(f"node {endpoint} has failed")
+        if src == dst:
+            # Intra-node (shared memory) copy: model as memory-bandwidth
+            # bounded with negligible latency.
+            node = self._nodes[src]
+            bw = node.memory.peak_bandwidth if node.memory else 50e9
+            yield self.sim.timeout(200e-9 + nbytes / bw)
+            self.messages_transferred += 1
+            return
+
+        duration = self.transfer_time(src, dst, nbytes, rdma=rdma)
+        directed = sorted(
+            self.directed_route(src, dst), key=lambda lf: lf[0].key
+        )
+        requests = []
+        for link, forward in directed:
+            resource = link.resource_for(forward)
+            req = resource.request()
+            yield req
+            requests.append((resource, req))
+        t0 = self.sim.now
+        links = [link for link, _fwd in directed]
+        try:
+            yield self.sim.timeout(duration)
+            for link in links:
+                link.bytes_carried += nbytes
+        finally:
+            for resource, req in requests:
+                resource.release(req)
+        if self.tracer is not None:
+            for link in links:
+                self.tracer.record(
+                    f"{link.key[0]}<->{link.key[1]}",
+                    f"{src}->{dst}",
+                    t0,
+                    self.sim.now,
+                )
+        self.bytes_transferred += nbytes
+        self.messages_transferred += 1
+
+    # -- convenience --------------------------------------------------------
+    def latency(self, src: str, dst: str) -> float:
+        """Zero-byte one-way MPI latency between two endpoints."""
+        return self.transfer_time(src, dst, 0)
+
+    def bandwidth(self, src: str, dst: str, nbytes: int) -> float:
+        """Effective bandwidth (bytes/s) of a single message of size n."""
+        if nbytes <= 0:
+            raise ValueError("bandwidth needs a positive message size")
+        return nbytes / self.transfer_time(src, dst, nbytes)

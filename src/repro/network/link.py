@@ -1,0 +1,70 @@
+"""Point-to-point fabric links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import Resource, Simulator
+
+__all__ = ["LinkSpec", "Link", "TOURMALET_LINK"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static link parameters.
+
+    ``channels`` models trunking: how many transfers can proceed at full
+    bandwidth concurrently before queueing (an EXTOLL torus provides
+    multiple parallel paths between modules; we model the aggregate as a
+    multi-channel trunk).
+    """
+
+    bandwidth_bps: float
+    hop_latency_s: float
+    channels: int = 1
+
+    def __post_init__(self):
+        if self.bandwidth_bps <= 0 or self.hop_latency_s < 0 or self.channels < 1:
+            raise ValueError("invalid link parameters")
+
+
+#: EXTOLL Tourmalet A3: 100 Gbit/s max link bandwidth (Table I),
+#: ~60 ns per-hop switching latency.
+TOURMALET_LINK = LinkSpec(bandwidth_bps=100e9 / 8, hop_latency_s=60e-9)
+
+
+class Link:
+    """A full-duplex fabric link with per-direction contention.
+
+    Each direction carries ``spec.channels`` concurrent transfers at
+    full bandwidth (EXTOLL links are full-duplex serial lanes); excess
+    transfers FIFO-queue on their direction.  Occupancy is modelled at
+    message granularity (cut-through routing).
+    """
+
+    def __init__(self, sim: Simulator, u: str, v: str, spec: LinkSpec):
+        self.sim = sim
+        self.u, self.v = u, v
+        self.spec = spec
+        self._resources = {
+            True: Resource(sim, capacity=spec.channels),  # u -> v
+            False: Resource(sim, capacity=spec.channels),  # v -> u
+        }
+        self.bytes_carried = 0
+
+    def resource_for(self, forward: bool) -> Resource:
+        """The direction's channel pool (forward = u -> v)."""
+        return self._resources[forward]
+
+    @property
+    def resource(self) -> Resource:
+        """The forward-direction pool (compatibility accessor)."""
+        return self._resources[True]
+
+    @property
+    def key(self):
+        """Canonical (sorted) endpoint pair used for deadlock-free ordering."""
+        return tuple(sorted((self.u, self.v)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Link {self.u}<->{self.v}>"

@@ -1,0 +1,211 @@
+"""Fabric topology construction (networkx-based).
+
+The DEEP-ER prototype runs one uniform EXTOLL Tourmalet fabric across
+Cluster, Booster and storage.  We model it as a two-level fat topology:
+
+* every Cluster node attaches to a Cluster-side switch group ``sw.cluster``;
+* every Booster node attaches to a Booster-side switch group ``sw.booster``;
+* the groups are joined by a multi-channel backbone trunk that also
+  hosts the storage servers and NAM devices.
+
+Hop counts therefore come out as CN-CN / BN-BN = 2 links and
+CN-BN = 3 links, which (together with the per-node software overheads)
+reproduces the latency ordering of Fig 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+
+from ..sim import Simulator
+from .link import Link, LinkSpec, TOURMALET_LINK
+
+__all__ = ["Topology", "build_two_level_topology", "build_torus_topology"]
+
+CLUSTER_SWITCH = "sw.cluster"
+BOOSTER_SWITCH = "sw.booster"
+
+
+class Topology:
+    """A fabric graph whose edges carry :class:`Link` objects."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.graph = nx.Graph()
+        self._links: Dict[Tuple[str, str], Link] = {}
+
+    def add_endpoint(self, node_id: str, kind: str = "node") -> None:
+        """Add a vertex (node or switch) to the fabric graph."""
+        self.graph.add_node(node_id, kind=kind)
+
+    def add_link(self, u: str, v: str, spec: LinkSpec) -> Link:
+        """Connect two existing endpoints with a new link."""
+        for n in (u, v):
+            if n not in self.graph:
+                raise KeyError(f"unknown endpoint {n!r}")
+        link = Link(self.sim, u, v, spec)
+        self.graph.add_edge(u, v)
+        self._links[tuple(sorted((u, v)))] = link
+        return link
+
+    def link(self, u: str, v: str) -> Link:
+        """The link object between two directly connected endpoints."""
+        return self._links[tuple(sorted((u, v)))]
+
+    def fail_link(self, u: str, v: str) -> None:
+        """Take a link out of service (routing will avoid it)."""
+        key = tuple(sorted((u, v)))
+        if key not in self._links:
+            raise KeyError(f"no link {u!r} <-> {v!r}")
+        self.graph.remove_edge(u, v)
+
+    def restore_link(self, u: str, v: str) -> None:
+        """Return a previously failed link to service."""
+        key = tuple(sorted((u, v)))
+        if key not in self._links:
+            raise KeyError(f"no link {u!r} <-> {v!r}")
+        self.graph.add_edge(u, v)
+
+    def links_on_path(self, path: Iterable[str]):
+        """The link objects along a vertex path."""
+        path = list(path)
+        return [self.link(a, b) for a, b in zip(path, path[1:])]
+
+    def directed_links_on_path(self, path: Iterable[str]):
+        """(link, forward) pairs along a vertex path; ``forward`` means
+        the traversal runs link.u -> link.v."""
+        path = list(path)
+        out = []
+        for a, b in zip(path, path[1:]):
+            link = self.link(a, b)
+            out.append((link, link.u == a))
+        return out
+
+    def shortest_path(self, src: str, dst: str):
+        """Shortest vertex path between two endpoints."""
+        return nx.shortest_path(self.graph, src, dst)
+
+    def is_connected(self) -> bool:
+        """Whether every endpoint can reach every other."""
+        return nx.is_connected(self.graph)
+
+    @property
+    def endpoints(self):
+        """All node (non-switch) vertices."""
+        return [n for n, d in self.graph.nodes(data=True) if d.get("kind") == "node"]
+
+
+def build_two_level_topology(
+    sim: Simulator,
+    cluster_ids: Iterable[str],
+    booster_ids: Iterable[str],
+    storage_ids: Iterable[str] = (),
+    nam_ids: Iterable[str] = (),
+    link_spec: LinkSpec = TOURMALET_LINK,
+    backbone_channels: int = 8,
+) -> Topology:
+    """Build the DEEP-ER style two-level fabric.
+
+    ``backbone_channels`` sets the trunking factor of the inter-module
+    connection (the prototype's torus offers several independent paths
+    between the Cluster and Booster sub-fabrics).
+    """
+    topo = Topology(sim)
+    topo.add_endpoint(CLUSTER_SWITCH, kind="switch")
+    topo.add_endpoint(BOOSTER_SWITCH, kind="switch")
+    backbone_spec = LinkSpec(
+        bandwidth_bps=link_spec.bandwidth_bps,
+        hop_latency_s=link_spec.hop_latency_s,
+        channels=backbone_channels,
+    )
+    topo.add_link(CLUSTER_SWITCH, BOOSTER_SWITCH, backbone_spec)
+
+    for cid in cluster_ids:
+        topo.add_endpoint(cid)
+        topo.add_link(cid, CLUSTER_SWITCH, link_spec)
+    for bid in booster_ids:
+        topo.add_endpoint(bid)
+        topo.add_link(bid, BOOSTER_SWITCH, link_spec)
+    # Storage and NAM sit on the backbone: equidistant-ish from both sides.
+    for sid in storage_ids:
+        topo.add_endpoint(sid)
+        topo.add_link(sid, CLUSTER_SWITCH, link_spec)
+        topo.add_link(sid, BOOSTER_SWITCH, link_spec)
+    for nid in nam_ids:
+        topo.add_endpoint(nid)
+        topo.add_link(nid, CLUSTER_SWITCH, link_spec)
+        topo.add_link(nid, BOOSTER_SWITCH, link_spec)
+    return topo
+
+
+def _torus_dims(n: int) -> tuple:
+    """Smallest near-cubic 3D torus with at least ``n`` vertices."""
+    import math
+
+    side = max(2, round(n ** (1 / 3)))
+    dims = [side, side, side]
+    i = 0
+    while dims[0] * dims[1] * dims[2] < n:
+        dims[i % 3] += 1
+        i += 1
+    return tuple(dims)
+
+
+def build_torus_topology(
+    sim: Simulator,
+    node_ids: Iterable[str],
+    dims: Tuple[int, int, int] = None,
+    link_spec: LinkSpec = TOURMALET_LINK,
+) -> Topology:
+    """A switchless 3D torus — EXTOLL Tourmalet's native topology.
+
+    Every NIC has six links to its torus neighbours; messages hop
+    through intermediate *nodes* (the Tourmalet chip forwards in
+    hardware).  Node ids are laid out in order along the torus
+    coordinates; unused torus slots become passive forwarding vertices
+    (kind ``"spare"``).
+
+    This is the physically faithful alternative to the two-level model
+    (which matches the paper's uniform measured latencies); the fabric
+    bench compares the two.
+    """
+    node_ids = list(node_ids)
+    if len(node_ids) < 2:
+        raise ValueError("a torus needs at least two endpoints")
+    dims = dims or _torus_dims(len(node_ids))
+    if dims[0] * dims[1] * dims[2] < len(node_ids):
+        raise ValueError(f"dims {dims} too small for {len(node_ids)} nodes")
+    topo = Topology(sim)
+
+    def coord_name(c):
+        return f"torus.{c[0]}.{c[1]}.{c[2]}"
+
+    coords = [
+        (x, y, z)
+        for x in range(dims[0])
+        for y in range(dims[1])
+        for z in range(dims[2])
+    ]
+    names = {}
+    for i, c in enumerate(coords):
+        if i < len(node_ids):
+            names[c] = node_ids[i]
+            topo.add_endpoint(node_ids[i], kind="node")
+        else:
+            names[c] = coord_name(c)
+            topo.add_endpoint(names[c], kind="spare")
+    for c in coords:
+        for axis in range(3):
+            if dims[axis] == 1:
+                continue
+            nb = list(c)
+            nb[axis] = (nb[axis] + 1) % dims[axis]
+            nb = tuple(nb)
+            if dims[axis] == 2 and nb < c:
+                continue  # avoid double edge on 2-rings
+            key = tuple(sorted((names[c], names[nb])))
+            if key not in topo._links:
+                topo.add_link(names[c], names[nb], link_spec)
+    return topo

@@ -1,0 +1,67 @@
+"""Run-time task dependency graph (RAW/WAR/WAW over data clauses).
+
+OmpSs builds "a task dependency graph at run-time" from the pragma
+annotations (section III-B); this module does the same from the
+``ins``/``outs``/``inouts`` clauses, using networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import networkx as nx
+
+from .task import TaskSpec
+
+__all__ = ["build_dependency_graph", "ready_tasks", "critical_path_length"]
+
+
+def build_dependency_graph(tasks: Sequence[TaskSpec]) -> nx.DiGraph:
+    """Edges follow program order: a task depends on the latest earlier
+    writer of anything it reads (RAW), the latest earlier reader or
+    writer of anything it writes (WAR/WAW)."""
+    g = nx.DiGraph()
+    last_writer: Dict[str, TaskSpec] = {}
+    readers_since_write: Dict[str, List[TaskSpec]] = {}
+    for t in tasks:
+        g.add_node(t.task_id, task=t)
+        for name in t.reads:
+            w = last_writer.get(name)
+            if w is not None and w.task_id != t.task_id:
+                g.add_edge(w.task_id, t.task_id, kind="RAW", data=name)
+            readers_since_write.setdefault(name, []).append(t)
+        for name in t.writes:
+            w = last_writer.get(name)
+            if w is not None and w.task_id != t.task_id:
+                g.add_edge(w.task_id, t.task_id, kind="WAW", data=name)
+            for r in readers_since_write.get(name, []):
+                if r.task_id != t.task_id:
+                    g.add_edge(r.task_id, t.task_id, kind="WAR", data=name)
+            last_writer[name] = t
+            readers_since_write[name] = []
+    if not nx.is_directed_acyclic_graph(g):  # pragma: no cover - defensive
+        raise ValueError("dependency graph has a cycle")
+    return g
+
+
+def ready_tasks(g: nx.DiGraph, done: set) -> List[TaskSpec]:
+    """Tasks whose predecessors are all in ``done`` and not yet done."""
+    out = []
+    for node, data in g.nodes(data=True):
+        if node in done:
+            continue
+        if all(p in done for p in g.predecessors(node)):
+            out.append(data["task"])
+    return out
+
+
+def critical_path_length(g: nx.DiGraph) -> float:
+    """Longest chain of task durations (lower bound on the schedule)."""
+    lengths: Dict[int, float] = {}
+    for node in nx.topological_sort(g):
+        t: TaskSpec = g.nodes[node]["task"]
+        best = max(
+            (lengths[p] for p in g.predecessors(node)), default=0.0
+        )
+        lengths[node] = best + t.duration_s
+    return max(lengths.values(), default=0.0)

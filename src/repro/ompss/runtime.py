@@ -1,0 +1,318 @@
+"""The OmpSs-like dataflow runtime with Cluster<->Booster offload.
+
+Implements the abstraction layer of section III-B: annotate tasks with
+data clauses and an optional device target; the runtime derives the
+dependency graph, schedules ready tasks onto worker nodes, moves data
+across the fabric when a task runs on the other module, and executes
+the task bodies (real Python callables) while charging modeled time.
+
+Resiliency features (section III-D):
+
+* ``save_inputs=True`` snapshots every task's input data before it
+  runs, so a failed task "can be restarted in case of failure";
+* failed tasks are retried up to ``max_retries`` (offloaded tasks
+  restart "without loosing the work that has been performed in parallel
+  by other OmpSs tasks" — only the failed task repeats);
+* ``completed_log``/fast-forward: on an application restart, tasks
+  present in the log are skipped and their outputs restored, which
+  "fast-forward[s] a re-started application to the latest check-point".
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.machine import Machine
+from ..hardware.node import Node, NodeKind
+from ..mpi.datatypes import payload_nbytes
+from ..perfmodel import time_on_node
+from ..sim import Resource, Simulator
+from .depgraph import build_dependency_graph, ready_tasks
+from .task import Target, TaskSpec, TaskState
+
+__all__ = ["TaskFailure", "OmpSsRuntime"]
+
+
+class TaskFailure(Exception):
+    """A (possibly injected) task execution failure."""
+
+
+class OmpSsRuntime:
+    """Dataflow task executor over the simulated machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        home: str = "cluster",
+        cluster_workers: int = 1,
+        booster_workers: int = 1,
+        max_retries: int = 1,
+        save_inputs: bool = True,
+    ):
+        self.machine = machine
+        self.sim: Simulator = machine.sim
+        self.home = NodeKind(home)
+        from collections import deque
+
+        self._workers = {
+            NodeKind.CLUSTER: (
+                machine.cluster[:cluster_workers],
+                Resource(self.sim, capacity=max(cluster_workers, 1)),
+            ),
+            NodeKind.BOOSTER: (
+                machine.booster[:booster_workers],
+                Resource(self.sim, capacity=max(booster_workers, 1)),
+            ),
+        }
+        self._free_nodes = {
+            kind: deque(nodes) for kind, (nodes, _pool) in self._workers.items()
+        }
+        self.max_retries = max_retries
+        self.save_inputs = save_inputs
+        self.tasks: List[TaskSpec] = []
+        self.data: Dict[str, Any] = {}
+        #: data name -> module currently holding the authoritative copy
+        self._data_home: Dict[str, NodeKind] = {}
+        self._injected_failures: Dict[str, int] = {}
+        self.completed_log: List[str] = []
+        self.transfers_bytes = 0
+        self._barrier_count = 0
+        self._last_barrier_token: Optional[str] = None
+
+    # -- authoring ----------------------------------------------------------
+    def task(
+        self,
+        name: Optional[str] = None,
+        ins: Sequence[str] = (),
+        outs: Sequence[str] = (),
+        inouts: Sequence[str] = (),
+        target: str = "local",
+        duration_s: float = 0.0,
+        kernel=None,
+    ) -> Callable:
+        """Decorator registering a function as an annotated task.
+
+        The decorated function receives the current values of ``ins``
+        then ``inouts`` as positional arguments and must return a tuple
+        matching ``outs + inouts`` (or a single value for one output).
+        """
+
+        def wrap(fn: Callable) -> Callable:
+            self.submit(
+                fn,
+                name=name or fn.__name__,
+                ins=ins,
+                outs=outs,
+                inouts=inouts,
+                target=target,
+                duration_s=duration_s,
+                kernel=kernel,
+            )
+            return fn
+
+        return wrap
+
+    def submit(
+        self,
+        fn: Callable,
+        name: Optional[str] = None,
+        ins: Sequence[str] = (),
+        outs: Sequence[str] = (),
+        inouts: Sequence[str] = (),
+        target: str = "local",
+        duration_s: float = 0.0,
+        kernel=None,
+    ) -> TaskSpec:
+        """Register one task (function + data clauses + placement)."""
+        ins = tuple(ins)
+        if self._last_barrier_token is not None:
+            # everything after a taskwait depends on its token
+            ins = ins + (self._last_barrier_token,)
+        spec = TaskSpec(
+            name=name or getattr(fn, "__name__", f"task{len(self.tasks)}"),
+            fn=fn,
+            ins=ins,
+            outs=tuple(outs),
+            inouts=tuple(inouts),
+            target=Target(target),
+            duration_s=duration_s,
+            kernel=kernel,
+        )
+        self.tasks.append(spec)
+        return spec
+
+    def taskwait(self) -> TaskSpec:
+        """Ordering barrier (``#pragma omp taskwait``): every task
+        submitted afterwards waits for everything submitted before.
+
+        Implemented in the dataflow itself: a zero-cost barrier task
+        reads every name written so far and writes a token that all
+        later tasks implicitly read.
+        """
+        self._barrier_count += 1
+        token = f"__taskwait_{self._barrier_count}"
+        written = []
+        for t in self.tasks:
+            for name in t.writes:
+                if name not in written and not name.startswith("__taskwait_"):
+                    written.append(name)
+        spec = TaskSpec(
+            name=f"taskwait#{self._barrier_count}",
+            fn=lambda *args: None,
+            ins=tuple(written),
+            outs=(token,),
+            target=Target.LOCAL,
+            duration_s=0.0,
+        )
+        self.tasks.append(spec)
+        self._last_barrier_token = token
+        return spec
+
+    def set_data(self, name: str, value: Any) -> None:
+        """Seed a named value in the runtime's data space."""
+        self.data[name] = value
+        self._data_home[name] = self.home
+
+    def get_data(self, name: str) -> Any:
+        """Read a named value from the data space."""
+        return self.data[name]
+
+    def inject_failure(self, task_name: str, times: int = 1) -> None:
+        """Make the next ``times`` executions of a task fail (testing)."""
+        self._injected_failures[task_name] = times
+
+    # -- execution -----------------------------------------------------------
+    def run(self, restart_log: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        """Execute all submitted tasks; returns the final data space.
+
+        ``restart_log``: names of tasks already completed in a previous
+        incarnation — they are fast-forwarded (skipped), with their
+        recorded outputs restored from ``self.data`` (assumed reloaded
+        from the checkpoint by the caller).
+        """
+        graph = build_dependency_graph(self.tasks)
+        done: set = set()
+        restart = set(restart_log or ())
+        root = self.sim.process(self._scheduler(graph, done, restart))
+        self.sim.run()
+        if not root.triggered:
+            raise RuntimeError("task graph did not complete (deadlock?)")
+        if not root._ok:
+            raise root._value
+        failed = [t for t in self.tasks if t.state is TaskState.FAILED]
+        if failed:
+            raise TaskFailure(f"tasks failed permanently: {[t.name for t in failed]}")
+        return dict(self.data)
+
+    def _scheduler(self, graph, done: set, restart: set):
+        pending = {t.task_id for t in self.tasks}
+        while pending:
+            batch = [t for t in ready_tasks(graph, done) if t.task_id in pending]
+            if not batch:
+                raise RuntimeError("no ready tasks but work remains")
+            procs = []
+            for t in batch:
+                pending.discard(t.task_id)
+                if t.name in restart:
+                    t.state = TaskState.SKIPPED
+                    done.add(t.task_id)
+                    continue
+                procs.append((t, self.sim.process(self._execute(t))))
+            for t, p in procs:
+                yield p
+                done.add(t.task_id)
+
+    def _module_of(self, t: TaskSpec) -> NodeKind:
+        if t.target is Target.LOCAL:
+            return self.home
+        return NodeKind(t.target.value)
+
+    def _execute(self, t: TaskSpec):
+        module = self._module_of(t)
+        nodes, pool = self._workers[module]
+        if not nodes:
+            raise ValueError(f"no {module.value} workers configured")
+        saved = None
+        if self.save_inputs:
+            # section III-D: "Input data of the OmpSs tasks can be saved
+            # into main memory before starting them"
+            saved = {n: copy.deepcopy(self.data.get(n)) for n in t.reads}
+        for attempt in range(self.max_retries + 1):
+            t.attempts += 1
+            req = pool.request()
+            yield req
+            node = self._free_nodes[module].popleft()
+            try:
+                yield from self._stage_data(t, module)
+                t.state = TaskState.RUNNING
+                t.node_id = node.node_id
+                t.start_time = self.sim.now
+                cost = t.duration_s
+                if t.kernel is not None:
+                    cost += time_on_node(node, t.kernel)
+                if cost > 0:
+                    yield self.sim.timeout(cost)
+                try:
+                    self._maybe_fail(t)
+                    result = t.fn(
+                        *[
+                            self.data.get(n)
+                            for n in t.reads
+                            if not n.startswith("__taskwait_")
+                        ]
+                    )
+                except TaskFailure:
+                    t.state = TaskState.FAILED
+                    if saved is not None:
+                        self.data.update(saved)  # restore inputs
+                    if attempt < self.max_retries:
+                        continue
+                    return
+                self._store_outputs(t, result, module)
+                t.state = TaskState.COMPLETED
+                t.end_time = self.sim.now
+                self.completed_log.append(t.name)
+                return
+            finally:
+                self._free_nodes[module].append(node)
+                pool.release(req)
+
+    def _maybe_fail(self, t: TaskSpec) -> None:
+        left = self._injected_failures.get(t.name, 0)
+        if left > 0:
+            self._injected_failures[t.name] = left - 1
+            raise TaskFailure(f"injected failure in {t.name}")
+
+    def _stage_data(self, t: TaskSpec, module: NodeKind):
+        """Move input data to the executing module over the fabric."""
+        for name in t.reads:
+            home = self._data_home.get(name, self.home)
+            if home != module and name in self.data:
+                nbytes = payload_nbytes(self.data[name])
+                src = self._workers[home][0][0]
+                dst = self._workers[module][0][0]
+                yield from self.machine.fabric.transfer(
+                    src.node_id, dst.node_id, nbytes
+                )
+                self.transfers_bytes += nbytes
+                self._data_home[name] = module
+
+    def _store_outputs(self, t: TaskSpec, result: Any, module: NodeKind) -> None:
+        writes = list(t.writes)
+        if not writes:
+            t.result = result
+            return
+        if len(writes) == 1:
+            values = [result]
+        else:
+            if not isinstance(result, (tuple, list)) or len(result) != len(writes):
+                raise ValueError(
+                    f"task {t.name!r} must return {len(writes)} values "
+                    f"for outputs {writes}"
+                )
+            values = list(result)
+        for name, value in zip(writes, values):
+            self.data[name] = value
+            self._data_home[name] = module
+        t.result = result

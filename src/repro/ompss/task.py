@@ -1,0 +1,84 @@
+"""Task descriptors for the OmpSs-like dataflow runtime."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..perfmodel.kernels import Kernel
+
+__all__ = ["TaskState", "Target", "TaskSpec"]
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    READY = "ready"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    SKIPPED = "skipped"  # fast-forwarded on restart
+
+
+class Target(enum.Enum):
+    """Where a task runs: locally, or offloaded to the other module.
+
+    Mirrors the DEEP offload pragma (section III-B): annotating a task
+    with a device target makes the runtime move it — and its data —
+    to the Cluster or Booster.
+    """
+
+    LOCAL = "local"
+    CLUSTER = "cluster"
+    BOOSTER = "booster"
+
+
+@dataclass
+class TaskSpec:
+    """One annotated task: function + data directionality + placement.
+
+    ``ins``/``outs``/``inouts`` are names in the runtime's data space;
+    they define the dependency graph (OmpSs computes it at run-time from
+    these clauses).  ``duration_s`` or ``kernel`` gives the modeled
+    execution cost on the chosen node.
+    """
+
+    name: str
+    fn: Callable
+    ins: Tuple[str, ...] = ()
+    outs: Tuple[str, ...] = ()
+    inouts: Tuple[str, ...] = ()
+    target: Target = Target.LOCAL
+    duration_s: float = 0.0
+    kernel: Optional[Kernel] = None
+    _ids = itertools.count()
+
+    def __post_init__(self):
+        if self.duration_s < 0:
+            raise ValueError("duration cannot be negative")
+        overlap = set(self.ins) & set(self.outs)
+        if overlap:
+            raise ValueError(
+                f"names {overlap} appear in both ins and outs; use inouts"
+            )
+        self.task_id = next(TaskSpec._ids)
+        self.state = TaskState.PENDING
+        self.attempts = 0
+        self.result = None
+        self.node_id: Optional[str] = None
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    @property
+    def reads(self) -> Tuple[str, ...]:
+        """Every name the task reads (ins + inouts)."""
+        return tuple(self.ins) + tuple(self.inouts)
+
+    @property
+    def writes(self) -> Tuple[str, ...]:
+        """Every name the task writes (outs + inouts)."""
+        return tuple(self.outs) + tuple(self.inouts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Task {self.name!r} {self.state.value} on {self.target.value}>"

@@ -1,0 +1,51 @@
+"""Kernel cost model: roofline + Amdahl on the Table I node models.
+
+Maps counted work (flops, bytes, access pattern, parallel/vector
+fractions) to runtime on a node.  Calibration constants for the xPic
+solvers are derived in :mod:`repro.perfmodel.calibration`.
+"""
+
+from .amdahl import amdahl_speedup, parallel_efficiency, speedup
+from .calibration import (
+    BYTES_PER_PARTICLE_STEP,
+    CG_ITERS_PER_STEP,
+    FLOPS_PER_PARTICLE_STEP,
+    SolverRatios,
+    field_kernel,
+    particle_kernel,
+    solver_ratios,
+)
+from .kernels import AccessPattern, Kernel
+from .nodeperf import (
+    THREAD_EFFICIENCY,
+    VECTOR_EFFICIENCY,
+    time_on_node,
+    time_on_processor,
+)
+from .power import DEFAULT_POWER, EnergyReport, PowerModel
+from .roofline import attainable_flops, is_memory_bound, ridge_intensity
+
+__all__ = [
+    "Kernel",
+    "AccessPattern",
+    "time_on_node",
+    "time_on_processor",
+    "VECTOR_EFFICIENCY",
+    "THREAD_EFFICIENCY",
+    "attainable_flops",
+    "is_memory_bound",
+    "ridge_intensity",
+    "PowerModel",
+    "EnergyReport",
+    "DEFAULT_POWER",
+    "amdahl_speedup",
+    "parallel_efficiency",
+    "speedup",
+    "particle_kernel",
+    "field_kernel",
+    "solver_ratios",
+    "SolverRatios",
+    "FLOPS_PER_PARTICLE_STEP",
+    "BYTES_PER_PARTICLE_STEP",
+    "CG_ITERS_PER_STEP",
+]

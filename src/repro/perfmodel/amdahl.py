@@ -1,0 +1,29 @@
+"""Amdahl/scaling helpers used by benches and reports."""
+
+from __future__ import annotations
+
+__all__ = ["amdahl_speedup", "parallel_efficiency", "speedup"]
+
+
+def amdahl_speedup(parallel_fraction: float, n: int) -> float:
+    """Classic Amdahl speedup on ``n`` workers."""
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ValueError("parallel_fraction must be in [0, 1]")
+    if n < 1:
+        raise ValueError("need at least one worker")
+    return 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / n)
+
+
+def speedup(t1: float, tn: float) -> float:
+    """Measured speedup T(1)/T(n)."""
+    if t1 <= 0 or tn <= 0:
+        raise ValueError("times must be positive")
+    return t1 / tn
+
+
+def parallel_efficiency(t1: float, tn: float, n: int) -> float:
+    """Measured parallel efficiency T(1) / (n x T(n)) — the metric of
+    Fig 8's lower panel."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    return speedup(t1, tn) / n

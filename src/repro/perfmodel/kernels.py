@@ -1,0 +1,85 @@
+"""Kernel descriptors: the unit of work the cost model evaluates.
+
+A :class:`Kernel` describes *counted work* (flops, memory traffic) plus
+the execution characteristics that determine how well a node type runs
+it: how much of it parallelizes across cores (Amdahl), how much
+vectorizes, and whether the vector accesses are streaming or
+gather/scatter (KNL's AVX-512 gathers are far from peak, which is why
+the particle mover's Booster advantage is 1.35x and not the 2.8x peak
+ratio).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["AccessPattern", "Kernel"]
+
+
+class AccessPattern(enum.Enum):
+    """Dominant vector-memory access pattern of a kernel."""
+
+    STREAM = "stream"  # unit-stride loads/stores
+    GATHER = "gather"  # indexed gather/scatter (particle interpolation)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """Work and character of one computational kernel.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    flops:
+        Total floating-point operations.
+    bytes_mem:
+        Total main-memory traffic in bytes.
+    parallel_fraction:
+        Fraction of the work that parallelizes over cores; the rest
+        executes at single-thread speed (Amdahl's law).  The xPic field
+        solver is "not highly parallel" (section IV-C) — low value; the
+        particle solver is embarrassingly parallel — near 1.
+    vector_fraction:
+        Of the parallel work, the fraction executed with vector
+        instructions (the rest retires at scalar IPC).
+    access:
+        STREAM or GATHER; selects the vector-efficiency table entry.
+    working_set_bytes:
+        Resident data size; selects the memory level (MCDRAM vs DDR4
+        on the Booster).
+    """
+
+    name: str
+    flops: float
+    bytes_mem: float
+    parallel_fraction: float = 1.0
+    vector_fraction: float = 1.0
+    access: AccessPattern = AccessPattern.STREAM
+    working_set_bytes: Optional[int] = None
+
+    def __post_init__(self):
+        if self.flops < 0 or self.bytes_mem < 0:
+            raise ValueError("work counts cannot be negative")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError("parallel_fraction must be in [0, 1]")
+        if not 0.0 <= self.vector_fraction <= 1.0:
+            raise ValueError("vector_fraction must be in [0, 1]")
+
+    def scaled(self, factor: float) -> "Kernel":
+        """The same kernel with work counts scaled by ``factor``
+        (domain decomposition: per-node share of a global kernel)."""
+        if factor < 0:
+            raise ValueError("scale factor cannot be negative")
+        return replace(
+            self, flops=self.flops * factor, bytes_mem=self.bytes_mem * factor
+        )
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of memory traffic."""
+        if self.bytes_mem == 0:
+            return float("inf")
+        return self.flops / self.bytes_mem

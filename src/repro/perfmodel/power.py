@@ -1,0 +1,112 @@
+"""Node power and energy-to-solution model.
+
+The Cluster-Booster concept exists to "increas[e] the scalability and
+energy efficiency of cluster systems" (section I): many-core nodes
+deliver more flop/s per Watt.  This module attaches published power
+envelopes to the Table I nodes and integrates energy over an
+experiment's phase timeline, enabling the energy-efficiency ablation.
+
+Power figures (node level, including memory and NIC):
+
+* Cluster node: 2x E5-2680v3 at 120 W TDP + DDR4 + board -> ~320 W
+  busy, ~110 W idle;
+* Booster node: Xeon Phi 7210 at 215 W TDP + board -> ~280 W busy,
+  ~95 W idle.
+
+Flop/s-per-Watt at peak: Cluster ~3.0 GF/W, Booster ~9.5 GF/W — the
+factor ~3 efficiency advantage that motivates the Booster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..hardware.node import Node, NodeKind
+
+__all__ = ["PowerModel", "EnergyReport", "DEFAULT_POWER"]
+
+
+@dataclass(frozen=True)
+class NodePower:
+    """Busy/idle power draw of one node type, in Watts."""
+
+    busy_w: float
+    idle_w: float
+
+    def __post_init__(self):
+        if self.idle_w < 0 or self.busy_w < self.idle_w:
+            raise ValueError("need 0 <= idle <= busy power")
+
+
+DEFAULT_POWER: Dict[NodeKind, NodePower] = {
+    NodeKind.CLUSTER: NodePower(busy_w=320.0, idle_w=110.0),
+    NodeKind.BOOSTER: NodePower(busy_w=280.0, idle_w=95.0),
+    NodeKind.DAM: NodePower(busy_w=420.0, idle_w=140.0),
+    NodeKind.STORAGE: NodePower(busy_w=250.0, idle_w=150.0),
+    NodeKind.NAM: NodePower(busy_w=45.0, idle_w=25.0),
+    NodeKind.SERVICE: NodePower(busy_w=200.0, idle_w=100.0),
+}
+
+
+@dataclass
+class EnergyReport:
+    """Energy accounting of one run."""
+
+    energy_j: float
+    duration_s: float
+    node_count: int
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average draw over the run."""
+        return self.energy_j / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def energy_kwh(self) -> float:
+        """Energy in kilowatt-hours."""
+        return self.energy_j / 3.6e6
+
+
+class PowerModel:
+    """Integrates node power over busy/idle time."""
+
+    def __init__(self, table: Dict[NodeKind, NodePower] = None):
+        self.table = dict(DEFAULT_POWER)
+        if table:
+            self.table.update(table)
+
+    def node_power(self, kind: NodeKind, busy: bool) -> float:
+        """Instantaneous draw of a node type, busy or idle."""
+        p = self.table[kind]
+        return p.busy_w if busy else p.idle_w
+
+    def energy(self, kind: NodeKind, busy_s: float, idle_s: float = 0.0) -> float:
+        """Energy in Joules for one node with the given busy/idle split."""
+        if busy_s < 0 or idle_s < 0:
+            raise ValueError("times cannot be negative")
+        p = self.table[kind]
+        return p.busy_w * busy_s + p.idle_w * idle_s
+
+    def run_energy(
+        self,
+        duration_s: float,
+        busy_by_kind: Dict[NodeKind, Dict[str, float]],
+    ) -> EnergyReport:
+        """Energy of a job: ``busy_by_kind[kind] = {node_id: busy_s}``.
+
+        Each listed node draws busy power for its busy seconds and idle
+        power for the rest of the run.
+        """
+        total = 0.0
+        count = 0
+        for kind, nodes in busy_by_kind.items():
+            for _node_id, busy_s in nodes.items():
+                busy = min(busy_s, duration_s)
+                total += self.energy(kind, busy, duration_s - busy)
+                count += 1
+        return EnergyReport(energy_j=total, duration_s=duration_s, node_count=count)
+
+    def peak_flops_per_watt(self, node: Node) -> float:
+        """Architectural efficiency: peak flop/s divided by busy power."""
+        return node.peak_flops / self.table[node.kind].busy_w

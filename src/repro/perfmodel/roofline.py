@@ -1,0 +1,35 @@
+"""Roofline helpers: peak envelopes and bound classification."""
+
+from __future__ import annotations
+
+from ..hardware.node import Node
+from .kernels import Kernel
+from .nodeperf import _vec_eff
+
+__all__ = ["attainable_flops", "is_memory_bound", "ridge_intensity"]
+
+
+def attainable_flops(node: Node, kernel: Kernel) -> float:
+    """Roofline-attainable flop rate for a kernel on a node:
+    min(vector peak x efficiency, AI x memory bandwidth)."""
+    proc, mem = node.processor, node.memory
+    if proc is None or mem is None:
+        raise ValueError(f"{node.node_id} is not a compute node")
+    peak = proc.peak_flops * _vec_eff(proc, kernel.access)
+    bw = mem.bandwidth_for(kernel.working_set_bytes)
+    if kernel.bytes_mem == 0:
+        return peak
+    return min(peak, kernel.arithmetic_intensity * bw)
+
+
+def ridge_intensity(node: Node, kernel: Kernel) -> float:
+    """Arithmetic intensity at the roofline ridge point (flops/byte)."""
+    proc, mem = node.processor, node.memory
+    peak = proc.peak_flops * _vec_eff(proc, kernel.access)
+    bw = mem.bandwidth_for(kernel.working_set_bytes)
+    return peak / bw
+
+
+def is_memory_bound(node: Node, kernel: Kernel) -> bool:
+    """True when the kernel sits left of the node's ridge point."""
+    return kernel.arithmetic_intensity < ridge_intensity(node, kernel)

@@ -1,0 +1,18 @@
+"""DEEP-ER resiliency stack (section III-D).
+
+Failure model of the prototype, Young/Daly checkpoint cadence, and an
+SCR-like multi-level checkpoint/restart manager over NVMe, buddy nodes,
+NAM and the global file system.
+"""
+
+from .failure import FailureModel, expected_runtime, optimal_interval
+from .scr import SCR, CheckpointLevel, CheckpointRecord
+
+__all__ = [
+    "FailureModel",
+    "optimal_interval",
+    "expected_runtime",
+    "SCR",
+    "CheckpointLevel",
+    "CheckpointRecord",
+]

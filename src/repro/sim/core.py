@@ -1,0 +1,130 @@
+"""The discrete-event simulator core: clock, queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from .events import Event, Timeout
+from .process import Process
+
+__all__ = ["Simulator", "StopSimulation"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Simulator.run` early."""
+
+
+class Simulator:
+    """Priority-queue driven discrete-event simulator.
+
+    Time is a float in **seconds** by convention throughout this project
+    (network latencies are therefore around ``1e-6``).
+
+    Typical use::
+
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return 42
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 42
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list = []
+        self._seq = 0  # tie-breaker: FIFO among simultaneous events
+        self._active_process: Optional[Process] = None
+        self.events_processed = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process whose generator is currently executing, if any."""
+        return self._active_process
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def schedule_at(self, event: Event, when: float) -> None:
+        """Schedule a *triggered* event at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, event))
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator and return it.
+
+        The returned :class:`Process` is itself an event that succeeds
+        with the generator's return value.
+        """
+        return Process(self, generator)
+
+    # -- run loop ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        self.events_processed += 1
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            # An un-handled failure: surface it rather than losing it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue is empty or the clock passes ``until``."""
+        if until is not None:
+            if until < self._now:
+                raise ValueError(f"until ({until}) lies in the past")
+            stopper = Event(self)
+            stopper._ok = True
+            stopper._value = None
+            stopper.callbacks.append(self._raise_stop)
+            self.schedule_at(stopper, until)
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation:
+            pass
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Convenience: start ``generator`` as a process, run, return its value."""
+        proc = self.process(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise RuntimeError("process did not finish before the simulation ended")
+        if not proc._ok:
+            raise proc._value
+        return proc._value
+
+    @staticmethod
+    def _raise_stop(_event: Event) -> None:
+        raise StopSimulation()

@@ -1,0 +1,111 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .events import PENDING, Event, Interrupt
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A simulation process wrapping a Python generator.
+
+    The generator yields :class:`~repro.sim.events.Event` instances to
+    suspend; it is resumed with the event's value (or the event's
+    exception is thrown into it).  The process is itself an event that
+    succeeds with the generator's ``return`` value, so processes can be
+    joined by yielding them.
+    """
+
+    __slots__ = ("generator", "_target")
+
+    def __init__(self, sim: "Simulator", generator: Generator):  # noqa: F821
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__} "
+                "(did you forget to call the generator function?)"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self._target: Event = None
+        # Kick off the process at the current simulation time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Used e.g. for failure injection.  Interrupting a finished
+        process is an error.
+        """
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self.sim.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Detach from the event we were waiting on, then resume with failure.
+        target = self._target
+        if target is not None and not target.processed:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            # nobody is listening anymore: producers must skip it
+            target.abandoned = True
+        interrupt_ev = Event(self.sim)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks.append(self._resume)
+        self.sim._schedule(interrupt_ev)
+
+    # -- internal ------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self.generator.send(event._value)
+                    else:
+                        event.defuse()
+                        target = self.generator.throw(event._value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    break
+                except BaseException as exc:
+                    self._target = None
+                    self.fail(exc)
+                    break
+
+                if not isinstance(target, Event):
+                    exc = TypeError(
+                        f"process yielded a non-event: {target!r}"
+                    )
+                    # Feed the error straight back into the generator.
+                    event = Event(self.sim)
+                    event._ok = False
+                    event._value = exc
+                    event._defused = True
+                    continue
+                if target.sim is not self.sim:
+                    raise RuntimeError("yielded an event from another simulator")
+                if target.processed:
+                    # Already done: loop immediately with its value.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                break
+        finally:
+            self.sim._active_process = None

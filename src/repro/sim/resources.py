@@ -1,0 +1,187 @@
+"""Shared-resource primitives: counted resources and FIFO stores.
+
+``Resource`` models mutual exclusion with a fixed capacity (e.g. a
+network link, an NVMe device queue).  ``Store`` is an unbounded (or
+bounded) FIFO buffer of Python objects used for message mailboxes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from .events import Event
+
+__all__ = ["Resource", "Request", "Store"]
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot.
+
+    Yields (succeeds) when the slot is granted.  The holder must call
+    :meth:`Resource.release` with this request when done.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Example::
+
+        link = Resource(sim, capacity=1)
+
+        def user(sim, link):
+            req = link.request()
+            yield req
+            try:
+                yield sim.timeout(transfer_time)
+            finally:
+                link.release(req)
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):  # noqa: F821
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently granted."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot; yields when granted (FIFO)."""
+        req = Request(self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Give a granted slot back, waking the next live waiter."""
+        if request.resource is not self:
+            raise ValueError("request belongs to a different resource")
+        while self._waiting:
+            nxt = self._waiting.popleft()
+            if not nxt.abandoned:  # skip waiters interrupted away
+                nxt.succeed()
+                return
+        self._in_use -= 1
+        if self._in_use < 0:
+            raise RuntimeError("release without matching request")
+
+
+class Store:
+    """A FIFO buffer connecting producer and consumer processes.
+
+    ``put(item)`` returns an event (immediate unless the store is
+    bounded and full); ``get()`` returns an event that succeeds with the
+    next item, optionally only one matching ``filter``.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")):  # noqa: F821
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[tuple] = deque()  # (event, filter)
+        self._putters: Deque[tuple] = deque()  # (event, item)
+        self._watchers: Deque[tuple] = deque()  # (event, filter)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert an item; the event blocks only when bounded and full."""
+        ev = Event(self.sim)
+        if len(self.items) < self.capacity:
+            self._insert(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event yielding the next (optionally filtered) item."""
+        ev = Event(self.sim)
+        idx = self._find(filter)
+        if idx is not None:
+            item = self.items[idx]
+            del self.items[idx]
+            ev.succeed(item)
+            self._drain_putters()
+        else:
+            self._getters.append((ev, filter))
+        return ev
+
+    def peek(self, filter: Optional[Callable[[Any], bool]] = None) -> Optional[Any]:
+        """Non-destructively return the first matching item, if any."""
+        idx = self._find(filter)
+        return self.items[idx] if idx is not None else None
+
+    def watch(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event that fires with a matching item *without consuming it*.
+
+        Fires immediately if a match is already buffered; otherwise when
+        one arrives (MPI_Probe semantics).
+        """
+        ev = Event(self.sim)
+        item = self.peek(filter)
+        if item is not None or (filter is None and self.items):
+            ev.succeed(self.items[self._find(filter)])
+        else:
+            self._watchers.append((ev, filter))
+        return ev
+
+    # -- internals -----------------------------------------------------------
+    def _find(self, filter) -> Optional[int]:
+        if filter is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if filter(item):
+                return i
+        return None
+
+    def _insert(self, item: Any) -> None:
+        # Watchers observe without consuming.
+        kept = deque()
+        for ev, flt in self._watchers:
+            if ev.abandoned:
+                continue
+            if flt is None or flt(item):
+                ev.succeed(item)
+            else:
+                kept.append((ev, flt))
+        self._watchers = kept
+        # Try to satisfy a waiting getter directly; interrupted waiters
+        # are dropped so they cannot swallow items meant for others.
+        self._getters = deque(
+            (ev, flt) for ev, flt in self._getters if not ev.abandoned
+        )
+        for i, (ev, flt) in enumerate(self._getters):
+            if flt is None or flt(item):
+                del self._getters[i]
+                ev.succeed(item)
+                return
+        self.items.append(item)
+
+    def _drain_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            ev, item = self._putters.popleft()
+            self._insert(item)
+            ev.succeed()

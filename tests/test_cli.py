@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "Intel Xeon Phi 7210" in out
+    assert "EXTOLL Tourmalet A3" in out
+
+
+def test_fig3_command(capsys):
+    assert main(["fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "bandwidth" in out and "latency" in out
+    assert "CN-CN" in out and "BN-BN" in out and "CN-BN" in out
+
+
+def test_fig7_command_short(capsys):
+    assert main(["fig7", "--steps", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "C+B gain vs Cluster" in out
+    assert "Fig 7" in out
+
+
+def test_fig8_command_short(capsys):
+    assert main(["fig8", "--steps", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "parallel efficiency" in out
+    assert "C+B gain at 8 nodes" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonsense"])
+
+
+def test_steps_flag_parsing():
+    args = build_parser().parse_args(["fig7", "--steps", "123"])
+    assert args.steps == 123
+
+
+def test_report_command(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "# Benchmark results" in out
+    assert "table1" in out and "fig7" in out

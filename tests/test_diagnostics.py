@@ -1,0 +1,116 @@
+"""Tests for the xPic physics diagnostics."""
+
+import math
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, "examples")
+
+from repro.apps.xpic import SpeciesConfig, XpicConfig, XpicSimulation
+from repro.apps.xpic.diagnostics import (
+    dominant_mode,
+    energy_budget,
+    field_spectrum,
+    velocity_histogram,
+    velocity_moments,
+)
+from repro.apps.xpic.particles import Species
+
+
+def test_spectrum_of_pure_mode():
+    """A single sine mode puts all its power in one bin."""
+    n = 64
+    x = np.arange(n) / n
+    field = np.tile(np.sin(2 * np.pi * 5 * x), (8, 1))
+    spec = field_spectrum(field)
+    assert dominant_mode(field) == 5
+    assert spec[5] > 100 * spec[4]
+
+
+def test_spectrum_validation():
+    with pytest.raises(ValueError):
+        field_spectrum(np.zeros(16))
+    with pytest.raises(ValueError):
+        dominant_mode(np.zeros((4, 1)))  # a single mode: no analysis
+
+
+def test_velocity_histogram_two_beams():
+    sc = SpeciesConfig("e", -1.0, 1.0, 1)
+    n = 4000
+    rng = np.random.default_rng(0)
+    right = Species(sc, rng.uniform(0, 1, n), rng.uniform(0, 1, n),
+                    np.vstack([np.full(n, 0.2), np.zeros(n), np.zeros(n)]),
+                    weight=0.5)
+    left = Species(sc, rng.uniform(0, 1, n), rng.uniform(0, 1, n),
+                   np.vstack([np.full(n, -0.2), np.zeros(n), np.zeros(n)]),
+                   weight=0.5)
+    centres, density = velocity_histogram([right, left], bins=41)
+    # two symmetric peaks at +-0.2, nothing at v=0
+    peak_plus = density[np.argmin(np.abs(centres - 0.2))]
+    peak_minus = density[np.argmin(np.abs(centres + 0.2))]
+    trough = density[np.argmin(np.abs(centres))]
+    assert peak_plus > 0 and peak_minus > 0
+    assert trough == 0
+    assert peak_plus == pytest.approx(peak_minus, rel=0.01)
+
+
+def test_velocity_histogram_validation():
+    sc = SpeciesConfig("e", -1.0, 1.0, 1)
+    sp = Species(sc, np.zeros(1), np.zeros(1), np.zeros((3, 1)))
+    with pytest.raises(ValueError):
+        velocity_histogram([sp], component=3)
+
+
+def test_velocity_moments():
+    sc = SpeciesConfig("e", -1.0, 1.0, 1)
+    rng = np.random.default_rng(1)
+    n = 50_000
+    v = np.vstack([
+        rng.normal(0.1, 0.05, n), np.zeros(n), np.zeros(n)
+    ])
+    sp = Species(sc, rng.uniform(0, 1, n), rng.uniform(0, 1, n), v)
+    m = velocity_moments([sp])
+    assert m["drift"] == pytest.approx(0.1, abs=0.002)
+    assert m["thermal"] == pytest.approx(0.05, rel=0.05)
+
+
+def test_energy_budget_consistency():
+    cfg = XpicConfig(
+        nx=16, ny=16, dt=0.05, steps=5,
+        species=(SpeciesConfig("e", -1.0, 1.0, 8),
+                 SpeciesConfig("i", +1.0, 100.0, 8)),
+    )
+    sim = XpicSimulation(cfg)
+    sim.run()
+    budget = energy_budget(sim)
+    assert budget["field"] == pytest.approx(
+        budget["electric"] + budget["magnetic"]
+    )
+    assert budget["total"] == pytest.approx(
+        budget["field"] + budget["kinetic"]
+    )
+    assert budget["kinetic"] > 0
+
+
+def test_two_stream_selects_the_resonant_mode():
+    """The instability pumps the mode with k*v0 ~ w_p, and the bimodal
+    beam distribution merges (the trough at v=0 fills in)."""
+    from two_stream_instability import two_stream_config
+
+    sim = XpicSimulation(two_stream_config(steps=100))
+    electrons = sim.species[:2]
+    centres0, density0 = velocity_histogram(electrons, bins=31)
+    trough0 = density0[np.argmin(np.abs(centres0))]
+    peak0 = density0.max()
+    sim.run()
+    # resonance: k ~ w_p / v0 = sqrt(4 pi * 2) / 0.2 ~ 25, fastest
+    # growth somewhat below; with L = 2 pi the mode number IS k
+    mode = dominant_mode(sim.fields.E[0])
+    assert 5 <= mode <= 25
+    # thermalization: the v=0 trough fills in as the beams merge
+    centres1, density1 = velocity_histogram(electrons, bins=31)
+    trough1 = density1[np.argmin(np.abs(centres1))]
+    assert trough0 < 0.05 * peak0  # initially bimodal
+    assert trough1 > 0.2 * density1.max()  # merged after saturation

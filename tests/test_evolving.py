@@ -1,0 +1,79 @@
+"""Tests for evolving jobs (application-initiated resource changes)."""
+
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.jobs import AdaptiveScheduler, EvolvingJob, MalleableJob
+from repro.jobs.job import JobState
+from repro.sim import Simulator
+
+
+def make_sched(nodes=8, reconfig=0.0, adaptive=True):
+    sim = Simulator()
+    machine = build_deep_er_prototype()
+    return sim, AdaptiveScheduler(
+        sim, machine.cluster[:nodes], reconfig_cost_s=reconfig,
+        adaptive=adaptive,
+    )
+
+
+def test_evolving_validation():
+    with pytest.raises(ValueError):
+        EvolvingJob("j", [])
+    with pytest.raises(ValueError):
+        EvolvingJob("j", [(10.0, 3, 2)])
+    with pytest.raises(ValueError):
+        EvolvingJob("j", [(-1.0, 1, 2)])
+
+
+def test_evolving_runs_through_phases():
+    sim, sched = make_sched()
+    job = EvolvingJob(
+        "wf",
+        phases=[
+            (16.0, 1, 2),  # setup: narrow
+            (64.0, 4, 8),  # main compute: wide
+            (8.0, 1, 1),  # post-processing: single node
+        ],
+    )
+    sched.submit(job)
+    sim.run()
+    assert job.state is JobState.COMPLETED
+    assert job.phase_index == 2
+    assert job.resize_count >= 2  # grew into phase 2, shrank for phase 3
+    # durations: 16/2 + 64/8 + 8/1 = 24 (perfect malleability, no cost)
+    assert job.end_time == pytest.approx(24.0)
+
+
+def test_evolving_shrink_frees_nodes_for_others():
+    """When the evolving job narrows, a waiting job gets the nodes."""
+    sim, sched = make_sched()
+    wf = EvolvingJob("wf", phases=[(80.0, 8, 8), (20.0, 1, 1)])
+    other = MalleableJob("other", 35.0, min_nodes=7, max_nodes=7,
+                         submit_time=1.0)
+    sched.submit(wf)
+    sched.submit(other, delay=1.0)
+    sim.run()
+    assert wf.state is JobState.COMPLETED
+    assert other.state is JobState.COMPLETED
+    # phase 1 ends at t=10; the other job starts once 7 nodes free up
+    assert other.start_time == pytest.approx(10.0, abs=0.2)
+
+
+def test_evolve_without_next_phase_raises():
+    job = EvolvingJob("j", phases=[(10.0, 1, 2)])
+    assert not job.has_next_phase
+    with pytest.raises(RuntimeError):
+        job.evolve()
+
+
+def test_evolving_respects_pool_limits():
+    """A phase demanding more than the machine still completes at the
+    machine's width (capped by availability)."""
+    sim, sched = make_sched(nodes=4)
+    job = EvolvingJob("j", phases=[(8.0, 1, 2), (16.0, 2, 4)])
+    sched.submit(job)
+    sim.run()
+    assert job.state is JobState.COMPLETED
+    # 8/2 + 16/4 = 8 seconds
+    assert job.end_time == pytest.approx(8.0)

@@ -1,0 +1,341 @@
+"""Tests for the I/O stack: BeeGFS, SIONlib aggregation, BeeOND cache."""
+
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.io import (
+    BeeGFS,
+    BeeondCache,
+    CacheMode,
+    FileNotFound,
+    SIONFile,
+    buddy_write,
+    write_task_local,
+)
+
+
+@pytest.fixture()
+def machine():
+    return build_deep_er_prototype()
+
+
+@pytest.fixture()
+def fs(machine):
+    return BeeGFS(machine)
+
+
+def run(machine, gen):
+    return machine.sim.run_process(gen)
+
+
+# ------------------------------------------------------------------ BeeGFS
+def test_beegfs_requires_storage_servers():
+    m = build_deep_er_prototype(storage_nodes=1)
+    with pytest.raises(ValueError):
+        BeeGFS(m)
+
+
+def test_beegfs_write_creates_and_stores(machine, fs):
+    client = machine.cluster[0]
+
+    def proc():
+        yield from fs.write(client, "out/data.h5", 10**6)
+
+    run(machine, proc())
+    assert fs.exists("out/data.h5")
+    assert fs.file_size("out/data.h5") == 10**6
+    assert fs.used_bytes == 10**6
+
+
+def test_beegfs_read_roundtrip_and_missing(machine, fs):
+    client = machine.cluster[0]
+
+    def proc():
+        yield from fs.write(client, "f", 4096)
+        n = yield from fs.read(client, "f")
+        return n
+
+    assert run(machine, proc()) == 4096
+    with pytest.raises(FileNotFound):
+        list(fs.read(client, "missing"))
+
+
+def test_beegfs_delete(machine, fs):
+    client = machine.cluster[0]
+
+    def proc():
+        yield from fs.write(client, "f", 10)
+        yield from fs.delete(client, "f")
+
+    run(machine, proc())
+    assert not fs.exists("f")
+    with pytest.raises(FileNotFound):
+        list(fs.delete(client, "f"))
+
+
+def test_beegfs_striping_distributes_chunks(machine, fs):
+    client = machine.cluster[0]
+
+    def proc():
+        yield from fs.write(client, "big", 4 * fs.chunk_bytes)
+
+    run(machine, proc())
+    stored = [s.bytes_stored for s in fs.servers]
+    assert all(b > 0 for b in stored)
+    assert sum(stored) == 4 * fs.chunk_bytes
+
+
+def test_beegfs_metadata_serializes(machine, fs):
+    """Concurrent creates queue at the metadata server."""
+    clients = machine.cluster[:8]
+    done = []
+
+    def creator(i):
+        yield from fs.create(clients[i], f"f{i}")
+        done.append(machine.sim.now)
+
+    for i in range(8):
+        machine.sim.process(creator(i))
+    machine.sim.run()
+    assert max(done) - min(done) >= 7 * fs.metadata_op_s * 0.99
+
+
+def test_beegfs_write_faster_than_serial_sum(machine, fs):
+    """Striping: one big write beats serialized per-server time."""
+    client = machine.cluster[0]
+    nbytes = 16 * fs.chunk_bytes
+
+    def proc():
+        t0 = machine.sim.now
+        yield from fs.write(client, "x", nbytes)
+        return machine.sim.now - t0
+
+    t = run(machine, proc())
+    serial = nbytes / fs.servers[0].disk_bandwidth_bps
+    assert t < serial * 1.5  # some overlap across the two servers
+
+
+def test_beegfs_capacity_enforced(machine):
+    fs = BeeGFS(machine, capacity_bytes=100)
+    client = machine.cluster[0]
+    with pytest.raises(IOError):
+        run(machine, fs.write(client, "too-big", 200))
+
+
+# ----------------------------------------------------------------- SIONlib
+def test_sion_validation(machine, fs):
+    with pytest.raises(ValueError):
+        SIONFile(fs, "s", n_tasks=0, chunk_size=100)
+    with pytest.raises(ValueError):
+        SIONFile(fs, "s", n_tasks=2, chunk_size=100, n_containers=3)
+    with pytest.raises(ValueError):
+        SIONFile(fs, "s", n_tasks=2, chunk_size=-1)
+
+
+def test_sion_reduces_metadata_ops(machine, fs):
+    """The aggregation claim: 16 tasks, 1 container -> 1 metadata op
+    instead of 16."""
+    clients = (machine.cluster + machine.booster)[:16]
+
+    def naive():
+        n = yield from write_task_local(fs, clients, "naive", 64 * 1024)
+        return n
+
+    naive_ops = run(machine, naive())
+    assert naive_ops == 16
+
+    sion = SIONFile(fs, "sion", n_tasks=16, chunk_size=64 * 1024)
+    before = fs.metadata_ops
+
+    def aggregated():
+        yield from sion.open(clients[0])
+        for i, c in enumerate(clients):
+            yield from sion.write_task(c, i, 64 * 1024)
+
+    run(machine, aggregated())
+    assert fs.metadata_ops - before == 1
+
+
+def test_sion_task_regions_do_not_overlap(machine, fs):
+    sion = SIONFile(fs, "s", n_tasks=8, chunk_size=1000, n_containers=2)
+    seen = set()
+    for t in range(8):
+        key = (sion.container_of(t), sion.offset_of(t))
+        assert key not in seen
+        seen.add(key)
+    # chunk alignment
+    assert sion.chunk_size % fs.chunk_bytes == 0
+
+
+def test_sion_write_read_roundtrip(machine, fs):
+    client = machine.cluster[0]
+    sion = SIONFile(fs, "s", n_tasks=4, chunk_size=4096)
+
+    def proc():
+        yield from sion.open(client)
+        yield from sion.write_task(client, 2, 1000)
+        n = yield from sion.read_task(client, 2)
+        return n
+
+    assert run(machine, proc()) == 1000
+    assert sion.tasks_written == 1
+
+
+def test_sion_guards(machine, fs):
+    client = machine.cluster[0]
+    sion = SIONFile(fs, "s", n_tasks=2, chunk_size=100)
+    with pytest.raises(IOError):
+        list(sion.write_task(client, 0, 10))  # not opened
+
+    def proc():
+        yield from sion.open(client)
+        yield from sion.write_task(client, 0, sion.chunk_size + 1)
+
+    with pytest.raises(ValueError):
+        run(machine, proc())
+
+
+def test_buddy_write_lands_on_partner(machine):
+    owner, buddy = machine.booster[0], machine.booster[1]
+
+    def proc():
+        yield from buddy_write(machine.fabric, owner, buddy, "ckpt1", 10**6)
+
+    run(machine, proc())
+    assert buddy.nvme.contains(f"buddy/{owner.node_id}/ckpt1")
+    assert not (owner.nvme.contains(f"buddy/{owner.node_id}/ckpt1"))
+
+
+def test_buddy_write_requires_nvme(machine):
+    owner = machine.booster[0]
+    storage = machine.storage[0]  # no NVMe
+    with pytest.raises(ValueError):
+        list(buddy_write(machine.fabric, owner, storage, "c", 10))
+
+
+# ------------------------------------------------------------------ BeeOND
+def test_beeond_sync_writes_through(machine, fs):
+    cache = BeeondCache(fs, mode=CacheMode.SYNC)
+    client = machine.cluster[0]
+
+    def proc():
+        yield from cache.write(client, "f", 10**6)
+
+    run(machine, proc())
+    assert fs.exists("f")
+    assert cache.dirty_bytes == 0
+    assert client.nvme.contains("beeond/f")
+
+
+def test_beeond_async_is_faster_then_flushes(machine, fs):
+    """Write-back returns at NVMe speed; data reaches BeeGFS after
+    flush."""
+    cache = BeeondCache(fs, mode=CacheMode.ASYNC)
+    client = machine.cluster[0]
+    nbytes = 10 * 2**20
+
+    def proc():
+        t0 = machine.sim.now
+        yield from cache.write(client, "f", nbytes)
+        t_write = machine.sim.now - t0
+        dirty = cache.dirty_bytes
+        yield from cache.flush()
+        return t_write, dirty
+
+    t_write, dirty = run(machine, proc())
+    assert dirty == nbytes or dirty == 0  # flush may have raced ahead
+    assert fs.exists("f")
+    assert cache.dirty_bytes == 0
+    # async write returns in about the NVMe write time, well under the
+    # global-FS path
+    assert t_write < client.nvme.write_time(nbytes) * 1.2
+
+
+def test_beeond_sync_slower_than_async(machine):
+    def timed(mode):
+        m = build_deep_er_prototype()
+        fs = BeeGFS(m)
+        cache = BeeondCache(fs, mode=mode)
+        client = m.cluster[0]
+
+        def proc():
+            t0 = m.sim.now
+            yield from cache.write(client, "f", 10 * 2**20)
+            return m.sim.now - t0
+
+        return m.sim.run_process(proc())
+
+    assert timed(CacheMode.ASYNC) < timed(CacheMode.SYNC)
+
+
+def test_beeond_read_prefers_cache(machine, fs):
+    cache = BeeondCache(fs, mode=CacheMode.SYNC)
+    client, other = machine.cluster[0], machine.cluster[1]
+
+    def proc():
+        yield from cache.write(client, "f", 4096)
+        yield from cache.read(client, "f")  # hit: local copy
+        yield from cache.read(other, "f")  # miss: no local copy
+        return cache.cache_hits, cache.cache_misses
+
+    hits, misses = run(machine, proc())
+    assert hits == 1 and misses == 1
+
+
+def test_beeond_requires_nvme(machine, fs):
+    cache = BeeondCache(fs)
+    with pytest.raises(ValueError):
+        list(cache.write(machine.storage[0], "f", 10))
+
+
+# ---------------------------------------------------------- degraded mode
+def test_storage_server_failure_degrades_striped_files(machine, fs):
+    from repro.io import DegradedError
+
+    client = machine.cluster[0]
+
+    def write():
+        yield from fs.write(client, "big", 4 * fs.chunk_bytes)
+
+    run(machine, write())
+    fs.servers[1].node.fail()
+    with pytest.raises(DegradedError):
+        run(machine, fs.read(client, "big"))
+    with pytest.raises(DegradedError):
+        run(machine, fs.write(client, "big2", 4 * fs.chunk_bytes))
+
+
+def test_small_file_on_surviving_server_still_readable(machine, fs):
+    """A file within one stripe of the surviving server is unaffected."""
+    from repro.io import DegradedError
+
+    client = machine.cluster[0]
+
+    def write_small():
+        # one chunk: lands entirely on servers[0]
+        yield from fs.write(client, "small", fs.chunk_bytes // 2)
+
+    run(machine, write_small())
+    fs.servers[1].node.fail()
+    def read_small():
+        n = yield from fs.read(client, "small")
+        return n
+
+    assert run(machine, read_small()) == fs.chunk_bytes // 2
+
+
+def test_recovered_server_restores_access(machine, fs):
+    client = machine.cluster[0]
+
+    def write():
+        yield from fs.write(client, "f", 3 * fs.chunk_bytes)
+
+    run(machine, write())
+    fs.servers[0].node.fail()
+    fs.servers[0].node.recover()
+
+    def read():
+        n = yield from fs.read(client, "f")
+        return n
+
+    assert run(machine, read()) == 3 * fs.chunk_bytes

@@ -1,0 +1,140 @@
+"""Tests for malleable jobs and adaptive scheduling (ref [5])."""
+
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.jobs import AdaptiveScheduler, MalleableJob
+from repro.jobs.allocator import AllocationError
+from repro.jobs.job import JobState
+from repro.sim import Simulator
+
+
+def make_sched(adaptive=True, nodes=8, reconfig=0.5):
+    sim = Simulator()
+    machine = build_deep_er_prototype()
+    sched = AdaptiveScheduler(
+        sim,
+        machine.cluster[:nodes],
+        reconfig_cost_s=reconfig,
+        adaptive=adaptive,
+    )
+    return sim, sched
+
+
+# ---------------------------------------------------------------- job spec
+def test_malleable_job_validation():
+    with pytest.raises(ValueError):
+        MalleableJob("j", work_node_s=-1, min_nodes=1, max_nodes=2)
+    with pytest.raises(ValueError):
+        MalleableJob("j", work_node_s=10, min_nodes=4, max_nodes=2)
+    with pytest.raises(ValueError):
+        MalleableJob("j", work_node_s=10, min_nodes=0, max_nodes=2)
+
+
+def test_oversize_min_rejected():
+    sim, sched = make_sched(nodes=4)
+    with pytest.raises(AllocationError):
+        sched.submit(MalleableJob("big", 100, min_nodes=5, max_nodes=8))
+
+
+# ----------------------------------------------------------------- running
+def test_single_job_expands_to_max():
+    sim, sched = make_sched(nodes=8)
+    job = MalleableJob("j", work_node_s=80.0, min_nodes=1, max_nodes=8)
+    sched.submit(job)
+    sim.run()
+    assert job.state is JobState.COMPLETED
+    # alone on the machine it runs at max width: 80 node-s / 8 nodes
+    assert job.end_time == pytest.approx(10.0)
+
+
+def test_max_cap_respected():
+    sim, sched = make_sched(nodes=8)
+    job = MalleableJob("j", work_node_s=40.0, min_nodes=1, max_nodes=4)
+    sched.submit(job)
+    sim.run()
+    assert job.end_time == pytest.approx(10.0)  # 40 / 4, not 40 / 8
+
+
+def test_arrival_shrinks_running_job():
+    """When a second job arrives, the first is squeezed to share."""
+    sim, sched = make_sched(nodes=8, reconfig=0.0)
+    a = MalleableJob("a", work_node_s=160.0, min_nodes=1, max_nodes=8)
+    b = MalleableJob("b", work_node_s=40.0, min_nodes=1, max_nodes=8,
+                     submit_time=5.0)
+    sched.submit(a)
+    sched.submit(b, delay=5.0)
+    sim.run()
+    assert a.resize_count >= 2  # shrunk at b's arrival, regrown at b's end
+    assert b.start_time == pytest.approx(5.0)  # admitted immediately
+    assert a.state is JobState.COMPLETED and b.state is JobState.COMPLETED
+    # total work / machine width is the lower bound; we are close to it
+    assert sched.makespan == pytest.approx(200.0 / 8, rel=0.05)
+
+
+def test_adaptive_beats_rigid_on_makespan():
+    """The ref [5] claim: adaptive scheduling of malleable jobs raises
+    throughput over rigid allocations."""
+
+    # max width 5 on an 8-node pool: a rigid scheduler fragments (3
+    # nodes idle while the queue is non-empty); the adaptive one fills
+    # the machine by running jobs side by side at reduced width
+    def jobs():
+        return [
+            MalleableJob("a", 120.0, min_nodes=1, max_nodes=5),
+            MalleableJob("b", 80.0, min_nodes=1, max_nodes=5, submit_time=1.0),
+            MalleableJob("c", 40.0, min_nodes=1, max_nodes=5, submit_time=2.0),
+        ]
+
+    sim_a, adaptive = make_sched(adaptive=True, reconfig=0.5)
+    adaptive.submit_all(jobs())
+    sim_a.run()
+
+    sim_r, rigid = make_sched(adaptive=False, reconfig=0.5)
+    rigid.submit_all(jobs())
+    sim_r.run()
+
+    assert adaptive.makespan < rigid.makespan
+    assert adaptive.mean_wait() <= rigid.mean_wait()
+
+
+def test_work_conservation():
+    """All submitted node-seconds are executed exactly once."""
+    sim, sched = make_sched(nodes=8, reconfig=0.0)
+    jobs = [
+        MalleableJob(f"j{i}", 30.0 + 10 * i, min_nodes=1, max_nodes=4,
+                     submit_time=float(i))
+        for i in range(4)
+    ]
+    sched.submit_all(jobs)
+    sim.run()
+    for j in jobs:
+        assert j.state is JobState.COMPLETED
+        assert j.work_done == pytest.approx(j.work_node_s, rel=1e-6)
+    # pool fully restored
+    assert len(sched.pool) == 8
+
+
+def test_reconfig_cost_delays_completion():
+    def run(reconfig):
+        sim, sched = make_sched(nodes=8, reconfig=reconfig)
+        a = MalleableJob("a", 160.0, min_nodes=1, max_nodes=8)
+        b = MalleableJob("b", 20.0, min_nodes=2, max_nodes=2, submit_time=3.0)
+        sched.submit(a)
+        sched.submit(b, delay=3.0)
+        sim.run()
+        return sched.makespan
+
+    assert run(reconfig=2.0) > run(reconfig=0.0)
+
+
+def test_min_nodes_gate_admission():
+    """A job whose minimum cannot be met waits."""
+    sim, sched = make_sched(nodes=8, reconfig=0.0)
+    a = MalleableJob("a", 80.0, min_nodes=6, max_nodes=8)
+    b = MalleableJob("b", 30.0, min_nodes=6, max_nodes=8, submit_time=1.0)
+    sched.submit(a)
+    sched.submit(b, delay=1.0)
+    sim.run()
+    # both need 6 of 8 nodes: they cannot overlap
+    assert b.start_time >= a.end_time - 1e-9

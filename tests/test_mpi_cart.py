@@ -1,0 +1,140 @@
+"""Cartesian process topologies (MPI_Cart_* family)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import build_deep_er_prototype
+from repro.mpi import CommError, MPIRuntime, RankError, cart_create, dims_create
+from repro.mpi.cart import CartComm
+
+
+@pytest.fixture()
+def rt():
+    machine = build_deep_er_prototype()
+    return MPIRuntime(machine)
+
+
+# ------------------------------------------------------------- dims_create
+def test_dims_create_balanced():
+    assert dims_create(8, 2) == [4, 2]
+    assert dims_create(16, 2) == [4, 4]
+    assert dims_create(12, 2) == [4, 3]
+    assert dims_create(8, 3) == [2, 2, 2]
+    assert dims_create(7, 2) == [7, 1]
+
+
+def test_dims_create_validation():
+    with pytest.raises(ValueError):
+        dims_create(0, 2)
+    with pytest.raises(ValueError):
+        dims_create(4, 0)
+
+
+@given(st.integers(1, 64), st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_dims_create_product_property(n, d):
+    dims = dims_create(n, d)
+    prod = 1
+    for x in dims:
+        prod *= x
+    assert prod == n
+    assert len(dims) == d
+    assert dims == sorted(dims, reverse=True)
+
+
+# ---------------------------------------------------------------- CartComm
+def test_cart_size_mismatch_rejected(rt):
+    def app(ctx):
+        yield ctx.compute(0)
+        CartComm(ctx.world, (3, 2), (True, True))  # 6 != 4
+
+    with pytest.raises(CommError):
+        rt.run_app(app, rt.machine.cluster[:4])
+
+
+def test_coords_roundtrip(rt):
+    def app(ctx):
+        yield ctx.compute(0)
+        cart = cart_create(ctx.world, dims=(2, 3))
+        coords = cart.coords
+        assert cart.coords_to_rank(coords) == ctx.world.rank
+        return coords
+
+    results = rt.run_app(app, rt.machine.cluster[:6])
+    assert results == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+
+def test_shift_periodic_and_open(rt):
+    def app(ctx):
+        yield ctx.compute(0)
+        cart = cart_create(ctx.world, dims=(4,), periods=[True])
+        src_p, dst_p = cart.shift(0)
+        cart_open = cart_create(ctx.world, dims=(4,), periods=[False])
+        src_o, dst_o = cart_open.shift(0)
+        return (src_p, dst_p, src_o, dst_o)
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    # periodic ring
+    assert results[0][:2] == (3, 1)
+    assert results[3][:2] == (2, 0)
+    # open chain: edges see None
+    assert results[0][2:] == (None, 1)
+    assert results[3][2:] == (2, None)
+
+
+def test_neighbours_2d(rt):
+    def app(ctx):
+        yield ctx.compute(0)
+        cart = cart_create(ctx.world, dims=(2, 2))
+        return sorted(cart.neighbours())
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    assert results[0] == [1, 2]
+    assert results[3] == [1, 2]
+
+
+def test_shift_exchange_ring(rt):
+    """Data circulates one hop along the ring per exchange."""
+
+    def app(ctx):
+        comm = ctx.world
+        cart = cart_create(comm, dims=(4,), periods=[True])
+        got = yield from cart.shift_exchange(comm.rank, direction=0)
+        return got
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    assert results == [3, 0, 1, 2]  # each rank holds its left neighbour
+
+
+def test_shift_exchange_open_boundary(rt):
+    def app(ctx):
+        comm = ctx.world
+        cart = cart_create(comm, dims=(4,), periods=[False])
+        got = yield from cart.shift_exchange(comm.rank * 10, direction=0)
+        return got
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    assert results == [None, 0, 10, 20]  # rank 0 receives nothing
+
+
+def test_invalid_direction_and_rank(rt):
+    def app(ctx):
+        yield ctx.compute(0)
+        cart = cart_create(ctx.world, dims=(2, 2))
+        with pytest.raises(ValueError):
+            cart.shift(5)
+        with pytest.raises(RankError):
+            cart.rank_to_coords(99)
+
+    rt.run_app(app, rt.machine.cluster[:4])
+
+
+def test_auto_dims(rt):
+    def app(ctx):
+        yield ctx.compute(0)
+        cart = cart_create(ctx.world, ndims=2)
+        return cart.dims
+
+    results = rt.run_app(app, rt.machine.cluster[:8])
+    assert all(d == (4, 2) for d in results)

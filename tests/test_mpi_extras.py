@@ -1,0 +1,254 @@
+"""Tests for probe/iprobe, waitall/waitany, and reduce_scatter_block."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.mpi import ANY_SOURCE, Bytes, MPIRuntime, waitall, waitany
+
+
+@pytest.fixture()
+def rt():
+    machine = build_deep_er_prototype(cluster_nodes=4, booster_nodes=2)
+    return MPIRuntime(machine)
+
+
+def test_iprobe_nonblocking(rt):
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            yield ctx.compute(1.0)
+            yield from comm.send(Bytes(100), dest=1, tag=7)
+            return None
+        early = comm.iprobe(source=0, tag=7)
+        # wait long enough for the message to arrive, then probe again
+        yield ctx.compute(2.0)
+        late = comm.iprobe(source=0, tag=7)
+        # message is still there: receive it
+        data = yield from comm.recv(source=0, tag=7)
+        return (early, late.source, late.tag, late.nbytes, data.nbytes)
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[1] == (None, 0, 7, 100, 100)
+
+
+def test_probe_blocks_until_message(rt):
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            yield ctx.compute(3.0)
+            yield from comm.send(Bytes(64), dest=1, tag=2)
+            return None
+        st = yield from comm.probe(source=0, tag=2)
+        t_probe = ctx.sim.now
+        data = yield from comm.recv(source=0, tag=2)
+        return (st.nbytes, t_probe, data.nbytes)
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    nbytes, t_probe, got = results[1]
+    assert nbytes == 64 and got == 64
+    assert t_probe >= 3.0  # blocked until the send happened
+
+
+def test_probe_does_not_consume(rt):
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            yield from comm.send("payload", dest=1)
+            return None
+        yield from comm.probe(source=0)
+        yield from comm.probe(source=0)  # still probe-able
+        return (yield from comm.recv(source=0))
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[1] == "payload"
+
+
+def test_waitall_collects_everything(rt):
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            reqs = [comm.isend(Bytes(1000 * i), dest=i, tag=3)
+                    for i in range(1, 4)]
+            yield waitall(reqs)
+            return all(r.test() for r in reqs)
+        data = yield from ctx.world.recv(source=0, tag=3)
+        return data.nbytes
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    assert results[0] is True
+    assert results[1:] == [1000, 2000, 3000]
+
+
+def test_waitany_returns_on_first(rt):
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            yield ctx.compute(1.0)
+            yield from comm.send("fast", dest=2, tag=1)
+            return None
+        if comm.rank == 1:
+            yield ctx.compute(5.0)
+            yield from comm.send("slow", dest=2, tag=1)
+            return None
+        reqs = [comm.irecv(source=0, tag=1), comm.irecv(source=1, tag=1)]
+        yield waitany(reqs)
+        first_done = [r.test() for r in reqs]
+        t_first = ctx.sim.now
+        yield waitall(reqs)
+        return (first_done, t_first < 2.0, reqs[0].result, reqs[1].result)
+
+    results = rt.run_app(app, rt.machine.cluster[:3])
+    first_done, early, a, b = results[2]
+    assert first_done == [True, False]
+    assert early
+    assert (a, b) == ("fast", "slow")
+
+
+def test_wait_helpers_validate_empty():
+    with pytest.raises(ValueError):
+        waitall([])
+    with pytest.raises(ValueError):
+        waitany([])
+
+
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_reduce_scatter_block(rt, size):
+    def app(ctx):
+        comm = ctx.world
+        # rank r contributes values[i] = r*10 + i
+        values = [comm.rank * 10 + i for i in range(comm.size)]
+        mine = yield from comm.reduce_scatter_block(values)
+        return mine
+
+    results = rt.run_app(app, rt.machine.cluster[:size])
+    for i, got in enumerate(results):
+        expected = sum(r * 10 + i for r in range(size))
+        assert got == expected
+
+
+def test_reduce_scatter_block_numpy(rt):
+    def app(ctx):
+        comm = ctx.world
+        values = [np.full(8, float(comm.rank + i)) for i in range(comm.size)]
+        mine = yield from comm.reduce_scatter_block(values)
+        return mine
+
+    results = rt.run_app(app, rt.machine.cluster[:3])
+    for i, got in enumerate(results):
+        expected = np.full(8, float(sum(r + i for r in range(3))))
+        np.testing.assert_allclose(got, expected)
+
+
+def test_reduce_scatter_block_wrong_arity(rt):
+    def app(ctx):
+        yield from ctx.world.reduce_scatter_block([1])
+
+    with pytest.raises(ValueError):
+        rt.run_app(app, rt.machine.cluster[:2])
+
+
+# ----------------------------------------------------- non-blocking colls
+def test_ibarrier_overlaps_compute(rt):
+    def app(ctx):
+        comm = ctx.world
+        req = comm.ibarrier()
+        t0 = ctx.sim.now
+        yield ctx.compute(1.0)  # everyone computes during the barrier
+        yield req.wait()
+        return ctx.sim.now - t0
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    # the barrier hid behind the compute: total ~ 1.0 s, not 1.0 + barrier
+    for dur in results:
+        assert dur == pytest.approx(1.0, rel=0.01)
+
+
+def test_iallreduce_result(rt):
+    def app(ctx):
+        comm = ctx.world
+        req = comm.iallreduce(comm.rank + 1)
+        yield ctx.compute(0.5)
+        total = yield req.wait()
+        return total
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    assert results == [10, 10, 10, 10]
+
+
+def test_ibcast_delivers(rt):
+    def app(ctx):
+        comm = ctx.world
+        req = comm.ibcast("hello" if comm.rank == 0 else None, root=0)
+        data = yield req.wait()
+        return data
+
+    results = rt.run_app(app, rt.machine.cluster[:3])
+    assert results == ["hello"] * 3
+
+
+def test_nonblocking_then_blocking_collectives_ordered(rt):
+    """An in-flight iallreduce must not cross-talk with a following
+    blocking allreduce on the same communicator."""
+
+    def app(ctx):
+        comm = ctx.world
+        req = comm.iallreduce(1)
+        second = yield from comm.allreduce(100)
+        first = yield req.wait()
+        return (first, second)
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    assert all(r == (4, 400) for r in results)
+
+
+# ----------------------------------------------------- persistent requests
+def test_persistent_send_recv_channel(rt):
+    """The xPic idiom: set up the exchange once, start it every step."""
+
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            chan = comm.send_init(dest=1, tag=9)
+            for step in range(5):
+                req = chan.start(("fields", step))
+                yield req.wait()
+            return chan.starts
+        chan = comm.recv_init(source=0, tag=9)
+        got = []
+        for _ in range(5):
+            req = chan.start()
+            got.append((yield req.wait()))
+        return got
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[0] == 5
+    assert results[1] == [("fields", s) for s in range(5)]
+
+
+def test_persistent_double_start_rejected(rt):
+    from repro.mpi import CommError
+
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            yield ctx.compute(0)
+            return None
+        chan = comm.recv_init(source=0)
+        chan.start()
+        chan.start()  # first instance still in flight
+        yield ctx.compute(0)
+
+    with pytest.raises(CommError):
+        rt.run_app(app, rt.machine.cluster[:2])
+
+
+def test_persistent_validates_peer_upfront(rt):
+    from repro.mpi import RankError
+
+    def app(ctx):
+        ctx.world.send_init(dest=99)
+        yield ctx.compute(0)
+
+    with pytest.raises(RankError):
+        rt.run_app(app, rt.machine.cluster[:2])

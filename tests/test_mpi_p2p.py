@@ -1,0 +1,249 @@
+"""Point-to-point semantics of the simulated MPI."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Bytes,
+    MPIRuntime,
+    RankError,
+    Status,
+    payload_nbytes,
+)
+
+
+@pytest.fixture()
+def rt():
+    machine = build_deep_er_prototype(cluster_nodes=4, booster_nodes=4)
+    return MPIRuntime(machine)
+
+
+def test_send_recv_roundtrip(rt):
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            yield from comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+            return None
+        data = yield from comm.recv(source=0, tag=11)
+        return data
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[1] == {"a": 7, "b": 3.14}
+
+
+def test_send_recv_numpy_array(rt):
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            yield from comm.send(np.arange(1000), dest=1)
+        else:
+            data = yield from comm.recv(source=0)
+            return int(data.sum())
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[1] == sum(range(1000))
+
+
+def test_recv_any_source_fills_status(rt):
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank != 0:
+            yield from comm.send(Bytes(64), dest=0, tag=comm.rank)
+            return None
+        seen = set()
+        for _ in range(comm.size - 1):
+            st = Status()
+            yield from comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=st)
+            assert st.tag == st.source
+            assert st.nbytes == 64
+            seen.add(st.source)
+        return seen
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    assert results[0] == {1, 2, 3}
+
+
+def test_tag_matching_out_of_order(rt):
+    """A receive by tag must skip earlier non-matching messages."""
+
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            yield from comm.send("first", dest=1, tag=1)
+            yield from comm.send("second", dest=1, tag=2)
+            return None
+        second = yield from comm.recv(source=0, tag=2)
+        first = yield from comm.recv(source=0, tag=1)
+        return (first, second)
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[1] == ("first", "second")
+
+
+def test_messages_same_tag_preserve_order(rt):
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            for i in range(5):
+                yield from comm.send(i, dest=1, tag=0)
+            return None
+        out = []
+        for _ in range(5):
+            out.append((yield from comm.recv(source=0, tag=0)))
+        return out
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[1] == [0, 1, 2, 3, 4]
+
+
+def test_head_to_head_exchange_no_deadlock(rt):
+    """Buffered-send semantics: both ranks send before receiving."""
+
+    def app(ctx):
+        comm = ctx.world
+        peer = 1 - comm.rank
+        yield from comm.send(Bytes(10**6), dest=peer)
+        data = yield from comm.recv(source=peer)
+        return data.nbytes
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results == [10**6, 10**6]
+
+
+def test_isend_irecv_overlap(rt):
+    """Non-blocking ops let compute overlap communication."""
+
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            req = comm.isend(Bytes(16 * 2**20), dest=1)
+            t0 = ctx.sim.now
+            yield ctx.compute(1.0)  # 1 s of overlapped work
+            compute_done = ctx.sim.now - t0
+            yield req.wait()
+            return compute_done
+        else:
+            req = comm.irecv(source=0)
+            payload = yield req.wait()
+            return payload.nbytes
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[0] == pytest.approx(1.0)
+    assert results[1] == 16 * 2**20
+
+
+def test_request_test_before_completion(rt):
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            yield ctx.compute(1.0)
+            yield from comm.send(Bytes(8), dest=1)
+            return None
+        req = comm.irecv(source=0)
+        early = req.test()
+        yield req.wait()
+        late = req.test()
+        return (early, late)
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[1] == (False, True)
+
+
+def test_sendrecv_exchange(rt):
+    def app(ctx):
+        comm = ctx.world
+        peer = 1 - comm.rank
+        got = yield from comm.sendrecv(f"from{comm.rank}", dest=peer, source=peer)
+        return got
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results == ["from1", "from0"]
+
+
+def test_send_to_invalid_rank_raises(rt):
+    def app(ctx):
+        yield from ctx.world.send(1, dest=99)
+
+    with pytest.raises(RankError):
+        rt.run_app(app, rt.machine.cluster[:2])
+
+
+def test_send_timing_matches_fabric_model(rt):
+    """A blocking send costs exactly the fabric's modelled message time."""
+    fab = rt.machine.fabric
+
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            t0 = ctx.sim.now
+            yield from comm.send(Bytes(2**20), dest=1)
+            return ctx.sim.now - t0
+        yield from ctx.world.recv(source=0)
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    expected = fab.transfer_time("cn00", "cn01", 2**20)
+    assert results[0] == pytest.approx(expected)
+
+
+def test_cross_module_send(rt):
+    """Ranks on different modules communicate transparently (global MPI)."""
+
+    def app(ctx):
+        comm = ctx.world
+        if comm.rank == 0:
+            yield from comm.send("hello booster", dest=1)
+            return ctx.node.kind.value
+        data = yield from comm.recv(source=0)
+        return (data, ctx.node.kind.value)
+
+    nodes = [rt.machine.cluster[0], rt.machine.booster[0]]
+    results = rt.run_app(app, nodes)
+    assert results[0] == "cluster"
+    assert results[1] == ("hello booster", "booster")
+
+
+def test_payload_nbytes_estimates():
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes(Bytes(123)) == 123
+    assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+    assert payload_nbytes(b"abcd") == 4
+    assert payload_nbytes(3.14) == 8
+    assert payload_nbytes("hello") == 5
+    assert payload_nbytes([1, 2, 3]) >= 24
+    assert payload_nbytes({"k": 1.0}) >= 9
+
+
+def test_bytes_validation():
+    with pytest.raises(ValueError):
+        Bytes(-1)
+
+
+def test_unfinished_rank_detected(rt):
+    """A rank blocked forever on recv is reported, not silently dropped."""
+
+    def app(ctx):
+        if ctx.world.rank == 1:
+            yield from ctx.world.recv(source=0)  # never sent
+
+    with pytest.raises(RuntimeError, match="never completed"):
+        rt.run_app(app, rt.machine.cluster[:2])
+
+
+def test_multiple_ranks_per_node(rt):
+    def app(ctx):
+        yield ctx.compute(0)
+        return ctx.node.node_id
+
+    results = rt.run_app(app, rt.machine.cluster[:2], nprocs=4, procs_per_node=2)
+    assert results == ["cn00", "cn00", "cn01", "cn01"]
+
+
+def test_placement_capacity_enforced(rt):
+    def app(ctx):
+        yield ctx.compute(0)
+
+    with pytest.raises(ValueError):
+        rt.run_app(app, rt.machine.cluster[:2], nprocs=5, procs_per_node=2)

@@ -1,0 +1,169 @@
+"""One-sided communication (RMA windows) over the RDMA fabric."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.mpi import MPIError, MPIRuntime, RankError, Window
+
+
+@pytest.fixture()
+def rt():
+    machine = build_deep_er_prototype(cluster_nodes=4, booster_nodes=4)
+    return MPIRuntime(machine)
+
+
+def test_put_get_roundtrip(rt):
+    """The mpi4py tutorial's RMA pattern: rank 0 exposes, rank 1 reads."""
+
+    def app(ctx):
+        comm = ctx.world
+        n = 10 * 8
+        win = yield from Window.allocate(comm, n if comm.rank == 0 else 0)
+        if comm.rank == 0:
+            win.local_view(np.float64)[:] = 42.0
+        yield from win.fence()
+        if comm.rank == 1:
+            yield from win.lock(0)
+            raw = yield from win.get(0, n)
+            win.unlock(0)
+            return raw.view(np.float64).tolist()
+        return None
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[1] == [42.0] * 10
+
+
+def test_put_writes_remote_region(rt):
+    def app(ctx):
+        comm = ctx.world
+        win = yield from Window.allocate(comm, 80 if comm.rank == 0 else 0)
+        yield from win.fence()
+        if comm.rank == 1:
+            yield from win.lock(0)
+            yield from win.put(np.arange(10, dtype=np.float64), 0)
+            win.unlock(0)
+        yield from win.fence()
+        if comm.rank == 0:
+            return win.local_view(np.float64).tolist()
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results[0] == list(map(float, range(10)))
+
+
+def test_offset_access(rt):
+    def app(ctx):
+        comm = ctx.world
+        win = yield from Window.allocate(comm, 32)
+        yield from win.fence()
+        peer = 1 - comm.rank
+        yield from win.lock(peer)
+        yield from win.put(
+            np.array([comm.rank + 1], dtype=np.float64), peer, offset=8
+        )
+        win.unlock(peer)
+        yield from win.fence()
+        return win.local_view(np.float64)[1]
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results == [2.0, 1.0]
+
+
+def test_accumulate_sums_contributions(rt):
+    def app(ctx):
+        comm = ctx.world
+        win = yield from Window.allocate(comm, 8 if comm.rank == 0 else 0)
+        yield from win.fence()
+        yield from win.lock(0)
+        yield from win.accumulate(np.array([float(comm.rank + 1)]), 0)
+        win.unlock(0)
+        yield from win.fence()
+        if comm.rank == 0:
+            return float(win.local_view(np.float64)[0])
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    assert results[0] == 1.0 + 2.0 + 3.0 + 4.0
+
+
+def test_lock_serializes_access(rt):
+    """Two ranks updating under a lock never interleave mid-hold."""
+
+    def app(ctx):
+        comm = ctx.world
+        win = yield from Window.allocate(comm, 8 if comm.rank == 0 else 0)
+        yield from win.fence()
+        if comm.rank > 0:
+            yield from win.lock(0)
+            raw = yield from win.get(0, 8)
+            value = raw.view(np.float64)[0]
+            yield ctx.compute(0.01)  # hold the lock across a RMW gap
+            yield from win.put(np.array([value + 1.0]), 0)
+            win.unlock(0)
+        yield from win.fence()
+        if comm.rank == 0:
+            return float(win.local_view(np.float64)[0])
+
+    results = rt.run_app(app, rt.machine.cluster[:4])
+    assert results[0] == 3.0  # three increments, none lost
+
+
+def test_rma_charges_origin_side_only(rt):
+    """A Put to an idle remote costs less than a two-sided message."""
+    fab = rt.machine.fabric
+
+    def app(ctx):
+        comm = ctx.world
+        win = yield from Window.allocate(comm, 2**20)
+        yield from win.fence()
+        if comm.rank == 0:
+            t0 = ctx.sim.now
+            yield from win.put(np.zeros(2**17), 1)  # 1 MiB
+            return ctx.sim.now - t0
+        # rank 1 passive: just waits at the next fence far in the future
+        yield ctx.compute(1.0)
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    two_sided = fab.transfer_time("cn00", "cn01", 2**20)
+    one_sided = fab.transfer_time("cn00", "cn01", 2**20, rdma=True)
+    assert results[0] == pytest.approx(one_sided, rel=0.01)
+    assert results[0] < two_sided
+
+
+def test_window_bounds_checked(rt):
+    def app(ctx):
+        comm = ctx.world
+        win = yield from Window.allocate(comm, 16)
+        yield from win.fence()
+        yield from win.put(np.zeros(4), 1 - comm.rank, offset=8)  # 32 B > 16
+
+    with pytest.raises(MPIError):
+        rt.run_app(app, rt.machine.cluster[:2])
+
+
+def test_invalid_target_rank(rt):
+    def app(ctx):
+        win = yield from Window.allocate(ctx.world, 8)
+        yield from win.get(5, 8)
+
+    with pytest.raises(RankError):
+        rt.run_app(app, rt.machine.cluster[:2])
+
+
+def test_double_lock_rejected(rt):
+    def app(ctx):
+        win = yield from Window.allocate(ctx.world, 8)
+        yield from win.lock(0)
+        yield from win.lock(0)
+
+    with pytest.raises(MPIError):
+        rt.run_app(app, rt.machine.cluster[:2])
+
+
+def test_unlock_without_lock_rejected(rt):
+    def app(ctx):
+        win = yield from Window.allocate(ctx.world, 8)
+        win.unlock(0)
+        yield ctx.compute(0)
+
+    with pytest.raises(MPIError):
+        rt.run_app(app, rt.machine.cluster[:2])

@@ -1,0 +1,162 @@
+"""MPI_Comm_spawn: the Cluster <-> Booster offload mechanism (Fig 4)."""
+
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.mpi import Bytes, MPIRuntime
+
+
+@pytest.fixture()
+def rt():
+    machine = build_deep_er_prototype(cluster_nodes=4, booster_nodes=4)
+    return MPIRuntime(machine)
+
+
+def test_spawn_creates_intercommunicator(rt):
+    """Fig 4: an application starting on the Booster spawns children on
+    the Cluster; both sides get their own WORLD plus an intercomm."""
+
+    def child(ctx):
+        parent = ctx.get_parent()
+        assert parent is not None
+        assert parent.is_inter
+        # child world is independent of the parent world
+        total = yield from ctx.world.allreduce(1)
+        if ctx.world.rank == 0:
+            msg = yield from parent.recv(source=0)
+            yield from parent.send(f"ack:{msg}", dest=0)
+        return (total, ctx.node.kind.value)
+
+    def parent_app(ctx):
+        comm = ctx.world
+        inter = yield from comm.spawn(
+            child, rt.machine.cluster[:2], name="cluster-part", startup_cost_s=0.0
+        )
+        assert inter.is_inter
+        assert inter.remote_size == 2
+        if comm.rank == 0:
+            yield from inter.send("hello", dest=0)
+            reply = yield from inter.recv(source=0)
+            return reply
+        return None
+
+    results = rt.run_app(parent_app, rt.machine.booster[:2])
+    assert results[0] == "ack:hello"
+
+
+def test_spawned_children_run_on_target_module(rt):
+    seen = []
+
+    def child(ctx):
+        yield ctx.compute(0)
+        seen.append(ctx.node.kind.value)
+        parent = ctx.get_parent()
+        yield from parent.send(Bytes(0), dest=0)
+
+    def parent_app(ctx):
+        inter = yield from ctx.world.spawn(
+            child, rt.machine.cluster[:2], startup_cost_s=0.0
+        )
+        if ctx.world.rank == 0:
+            for _ in range(2):
+                yield from inter.recv()
+
+    rt.run_app(parent_app, rt.machine.booster[:2])
+    assert seen == ["cluster", "cluster"]
+
+
+def test_parent_has_no_parent(rt):
+    def app(ctx):
+        yield ctx.compute(0)
+        return ctx.get_parent()
+
+    results = rt.run_app(app, rt.machine.cluster[:2])
+    assert results == [None, None]
+
+
+def test_spawn_startup_cost_charged_once(rt):
+    def child(ctx):
+        yield ctx.compute(0)
+
+    def parent_app(ctx):
+        t0 = ctx.sim.now
+        yield from ctx.world.spawn(
+            child, rt.machine.cluster[:1], startup_cost_s=0.25
+        )
+        return ctx.sim.now - t0
+
+    results = rt.run_app(parent_app, rt.machine.booster[:2])
+    for dur in results:
+        assert 0.25 <= dur < 0.3
+
+
+def test_bidirectional_intercomm_traffic(rt):
+    """Nonblocking Issend/Irecv across the intercomm, as in Listing 4."""
+
+    def child(ctx):  # cluster side: field solver role
+        parent = ctx.get_parent()
+        rho = yield from parent.recv(source=ctx.world.rank, tag=1)
+        yield from parent.send(Bytes(rho.nbytes), dest=ctx.world.rank, tag=2)
+
+    def parent_app(ctx):  # booster side: particle solver role
+        comm = ctx.world
+        inter = yield from comm.spawn(
+            child,
+            rt.machine.cluster[:2],
+            nprocs=2,
+            startup_cost_s=0.0,
+        )
+        req = inter.isend(Bytes(4096), dest=comm.rank, tag=1)
+        fields = yield from inter.recv(source=comm.rank, tag=2)
+        yield req.wait()
+        return fields.nbytes
+
+    results = rt.run_app(parent_app, rt.machine.booster[:2])
+    assert results == [4096, 4096]
+
+
+def test_spawn_from_cluster_to_booster(rt):
+    """Offload works in both directions (section III-A)."""
+
+    def child(ctx):
+        parent = ctx.get_parent()
+        yield from parent.send(ctx.node.kind.value, dest=0)
+
+    def parent_app(ctx):
+        inter = yield from ctx.world.spawn(
+            child, rt.machine.booster[:2], startup_cost_s=0.0
+        )
+        if ctx.world.rank == 0:
+            kinds = []
+            for _ in range(2):
+                kinds.append((yield from inter.recv()))
+            return sorted(kinds)
+
+    results = rt.run_app(parent_app, rt.machine.cluster[:2])
+    assert results[0] == ["booster", "booster"]
+
+
+def test_nested_spawn(rt):
+    """A spawned child can itself spawn (modularity generalization)."""
+
+    def grandchild(ctx):
+        parent = ctx.get_parent()
+        yield from parent.send("gc", dest=0)
+
+    def child(ctx):
+        inter = yield from ctx.world.spawn(
+            grandchild, rt.machine.booster[2:3], startup_cost_s=0.0
+        )
+        msg = yield from inter.recv()
+        parent = ctx.get_parent()
+        yield from parent.send(msg + "+c", dest=0)
+
+    def parent_app(ctx):
+        inter = yield from ctx.world.spawn(
+            child, rt.machine.cluster[:1], startup_cost_s=0.0
+        )
+        msg = yield from inter.recv()
+        return msg
+
+    results = rt.run_app(parent_app, rt.machine.booster[:1])
+    assert results[0] == "gc+c"

@@ -1,0 +1,133 @@
+"""MPI-IO over the BeeGFS model (the mpi4py MPI.File pattern)."""
+
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.io import BeeGFS
+from repro.mpi import (
+    MODE_CREATE,
+    MODE_RDONLY,
+    MODE_WRONLY,
+    File,
+    MPIError,
+    MPIRuntime,
+)
+
+
+@pytest.fixture()
+def setup():
+    machine = build_deep_er_prototype()
+    return machine, BeeGFS(machine), MPIRuntime(machine)
+
+
+def test_collective_write_at_all(setup):
+    """The mpi4py tutorial's collective-I/O example: every rank writes
+    its rank-indexed block."""
+    machine, fs, rt = setup
+
+    def app(ctx):
+        comm = ctx.world
+        fh = yield from File.open(
+            comm, fs, "datafile.contig", MODE_WRONLY | MODE_CREATE
+        )
+        yield from fh.write_at_all(4096)
+        yield from fh.close()
+        return fh.size()
+
+    results = rt.run_app(app, machine.cluster[:4])
+    assert all(size == 4 * 4096 for size in results)
+    assert fs.file_size("datafile.contig") == 16384
+
+
+def test_single_create_despite_collective_open(setup):
+    machine, fs, rt = setup
+    before = fs.metadata_ops
+
+    def app(ctx):
+        fh = yield from File.open(
+            ctx.world, fs, "f", MODE_WRONLY | MODE_CREATE
+        )
+        yield from fh.close()
+
+    rt.run_app(app, machine.cluster[:8])
+    assert fs.metadata_ops - before == 1  # rank 0 creates, others don't
+
+
+def test_independent_write_at(setup):
+    machine, fs, rt = setup
+
+    def app(ctx):
+        comm = ctx.world
+        fh = yield from File.open(comm, fs, "x", MODE_WRONLY | MODE_CREATE)
+        if comm.rank == 1:
+            yield from fh.write_at(offset=1000, nbytes=500)
+        yield from fh.close()
+
+    rt.run_app(app, machine.cluster[:2])
+    assert fs.file_size("x") == 1500
+
+
+def test_read_roundtrip(setup):
+    machine, fs, rt = setup
+
+    def app(ctx):
+        comm = ctx.world
+        fh = yield from File.open(comm, fs, "r", MODE_CREATE | MODE_WRONLY)
+        yield from fh.write_at_all(1024)
+        yield from fh.close()
+        fh2 = yield from File.open(comm, fs, "r", MODE_RDONLY)
+        n = yield from fh2.read_at_all(1024)
+        yield from fh2.close()
+        return n
+
+    results = rt.run_app(app, machine.cluster[:3])
+    assert all(n == 1024 for n in results)
+
+
+def test_open_missing_file_raises(setup):
+    machine, fs, rt = setup
+
+    def app(ctx):
+        yield from File.open(ctx.world, fs, "ghost", MODE_RDONLY)
+
+    with pytest.raises(MPIError):
+        rt.run_app(app, machine.cluster[:2])
+
+
+def test_mode_guards(setup):
+    machine, fs, rt = setup
+
+    def app(ctx):
+        fh = yield from File.open(ctx.world, fs, "g", MODE_CREATE | MODE_RDONLY)
+        yield from fh.write_at(0, 10)
+
+    with pytest.raises(MPIError):
+        rt.run_app(app, machine.cluster[:1])
+
+
+def test_closed_file_rejected(setup):
+    machine, fs, rt = setup
+
+    def app(ctx):
+        fh = yield from File.open(ctx.world, fs, "c", MODE_CREATE | MODE_WRONLY)
+        yield from fh.close()
+        yield from fh.write_at(0, 10)
+
+    with pytest.raises(MPIError):
+        rt.run_app(app, machine.cluster[:1])
+
+
+def test_collective_write_synchronizes(setup):
+    """write_at_all is a barrier: no rank exits before the slowest."""
+    machine, fs, rt = setup
+
+    def app(ctx):
+        comm = ctx.world
+        fh = yield from File.open(comm, fs, "s", MODE_CREATE | MODE_WRONLY)
+        if comm.rank == 0:
+            yield ctx.compute(1.0)  # straggler
+        yield from fh.write_at_all(4096)
+        return ctx.sim.now
+
+    results = rt.run_app(app, machine.cluster[:4])
+    assert min(results) >= 1.0

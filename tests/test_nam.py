@@ -1,0 +1,97 @@
+"""Tests for the Network Attached Memory model."""
+
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.nam import NAMDevice, NAMFullError
+
+
+@pytest.fixture()
+def setup():
+    machine = build_deep_er_prototype()
+    nam = NAMDevice(machine, machine.nams[0])
+    return machine, nam
+
+
+def test_capacity_matches_prototype(setup):
+    _, nam = setup
+    assert nam.capacity_bytes == 2 * 10**9  # 2 GB per device (sec II-B)
+
+
+def test_allocation_bookkeeping(setup):
+    _, nam = setup
+    r = nam.allocate("ckpt", 10**6)
+    assert r.nbytes == 10**6
+    assert nam.allocated_bytes == 10**6
+    nam.free("ckpt")
+    assert nam.allocated_bytes == 0
+
+
+def test_allocation_validation(setup):
+    _, nam = setup
+    nam.allocate("a", 100)
+    with pytest.raises(ValueError):
+        nam.allocate("a", 100)  # duplicate
+    with pytest.raises(ValueError):
+        nam.allocate("b", 0)
+    with pytest.raises(NAMFullError):
+        nam.allocate("huge", 3 * 10**9)
+
+
+def test_put_get_roundtrip(setup):
+    machine, nam = setup
+    client = machine.cluster[0]
+    nam.allocate("region", 10**6)
+
+    def proc():
+        yield from nam.put(client, "region")
+        n = yield from nam.get(client, "region")
+        return n
+
+    assert machine.sim.run_process(proc()) == 10**6
+
+
+def test_put_exceeding_region_rejected(setup):
+    machine, nam = setup
+    nam.allocate("r", 100)
+    with pytest.raises(ValueError):
+        list(nam.put(machine.cluster[0], "r", 200))
+
+
+def test_rdma_cheaper_than_two_sided(setup):
+    """The NAM's point (section V): access without remote CPU beats a
+    two-sided transfer to a remote host."""
+    machine, nam = setup
+    fab = machine.fabric
+    rdma = fab.transfer_time("cn00", "nam0", 4096, rdma=True)
+    two_sided = fab.transfer_time("cn00", "cn01", 4096)
+    assert rdma < two_sided
+
+
+def test_globally_accessible(setup):
+    """Any node in the system reaches the NAM (section II-B)."""
+    machine, nam = setup
+    nam.allocate("shared", 4096)
+
+    def proc():
+        yield from nam.put(machine.cluster[0], "shared")
+        n = yield from nam.get(machine.booster[7], "shared")
+        return n
+
+    assert machine.sim.run_process(proc()) == 4096
+
+
+def test_concurrent_access_serializes_at_engine(setup):
+    machine, nam = setup
+    nam.allocate("a", 10 * 2**20)
+    nam.allocate("b", 10 * 2**20)
+    done = []
+
+    def writer(client, name):
+        yield from nam.put(client, name)
+        done.append(machine.sim.now)
+
+    machine.sim.process(writer(machine.cluster[0], "a"))
+    machine.sim.process(writer(machine.cluster[1], "b"))
+    machine.sim.run()
+    assert done[1] > 1.8 * done[0]

@@ -1,0 +1,321 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=5.0)
+    assert sim.now == 5.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 2.5
+
+
+def test_timeout_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc(sim):
+        v = yield sim.timeout(1.0, value="hello")
+        return v
+
+    assert sim.run_process(proc(sim)) == "hello"
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        yield sim.timeout(3.0)
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == pytest.approx(6.0)
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    log = []
+
+    def proc(sim):
+        for _ in range(10):
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=3.5)
+    assert log == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(ValueError):
+        sim.run(until=5.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1)
+        return 42
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.ok and p.value == 42
+
+
+def test_process_join():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return "done"
+
+    def parent(sim):
+        c = sim.process(child(sim))
+        v = yield c
+        return (v, sim.now)
+
+    assert sim.run_process(parent(sim)) == ("done", 3.0)
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_process_exception_propagates_to_joiner():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except ValueError as e:
+            return str(e)
+
+    assert sim.run_process(parent(sim)) == "boom"
+
+
+def test_unhandled_process_exception_surfaces():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise ValueError("unhandled")
+
+    sim.process(child(sim))
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_event_succeed_once_only():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_manual_event_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter(sim):
+        v = yield ev
+        return (v, sim.now)
+
+    def trigger(sim):
+        yield sim.timeout(4.0)
+        ev.succeed("sig")
+
+    p = sim.process(waiter(sim))
+    sim.process(trigger(sim))
+    sim.run()
+    assert p.value == ("sig", 4.0)
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(5.0, value="b")
+        result = yield AllOf(sim, [t1, t2])
+        return (sorted(result.values()), sim.now)
+
+    vals, now = sim.run_process(proc(sim))
+    assert vals == ["a", "b"]
+    assert now == 5.0
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+
+    def proc(sim):
+        t1 = sim.timeout(1.0, value="fast")
+        t2 = sim.timeout(5.0, value="slow")
+        result = yield AnyOf(sim, [t1, t2])
+        return (list(result.values()), sim.now)
+
+    vals, now = sim.run_process(proc(sim))
+    assert vals == ["fast"]
+    assert now == 1.0
+
+
+def test_condition_operators():
+    sim = Simulator()
+
+    def proc(sim):
+        a = sim.timeout(1.0)
+        b = sim.timeout(2.0)
+        yield a & b
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 2.0
+
+
+def test_empty_allof_is_immediate():
+    sim = Simulator()
+
+    def proc(sim):
+        yield AllOf(sim, [])
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 0.0
+
+
+def test_fifo_order_among_simultaneous_events():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        sim.process(proc(sim, name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            return ("interrupted", i.cause, sim.now)
+
+    def attacker(sim, victim_proc):
+        yield sim.timeout(2.0)
+        victim_proc.interrupt(cause="node-failure")
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert v.value == ("interrupted", "node-failure", 2.0)
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_yield_non_event_raises_inside_process():
+    sim = Simulator()
+
+    def proc(sim):
+        try:
+            yield 42
+        except TypeError as e:
+            return "caught"
+
+    assert sim.run_process(proc(sim)) == "caught"
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    sim.timeout(7.0)
+    assert sim.peek() == 7.0
+
+
+def test_peek_empty_is_inf():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+
+
+def test_active_process_visible_during_execution():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        seen.append(sim.active_process)
+        yield sim.timeout(0)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert seen == [p]
+    assert sim.active_process is None
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator(start_time=3.0)
+    ev = Event(sim)
+    ev._ok = True
+    ev._value = None
+    with pytest.raises(ValueError):
+        sim.schedule_at(ev, 1.0)

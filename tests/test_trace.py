@@ -1,0 +1,113 @@
+"""Tests for the interval tracer and Gantt rendering."""
+
+import pytest
+
+from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro.hardware import build_deep_er_prototype
+from repro.sim import Interval, Tracer
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        Interval("a", "x", 2.0, 1.0)
+
+
+def test_record_and_timeline_order():
+    tr = Tracer()
+    tr.record("a", "x", 2.0, 3.0)
+    tr.record("a", "y", 0.0, 1.0)
+    tr.record("b", "x", 0.5, 0.7)
+    tl = tr.timeline("a")
+    assert [iv.label for iv in tl] == ["y", "x"]
+    assert tr.actors() == ["a", "b"]
+
+
+def test_busy_time_by_label():
+    tr = Tracer()
+    tr.record("a", "x", 0.0, 1.0)
+    tr.record("a", "x", 2.0, 2.5)
+    tr.record("a", "y", 1.0, 2.0)
+    assert tr.busy_time("a", "x") == pytest.approx(1.5)
+    assert tr.busy_time("a") == pytest.approx(2.5)
+
+
+def test_span():
+    tr = Tracer()
+    assert tr.span() == (0.0, 0.0)
+    tr.record("a", "x", 1.0, 2.0)
+    tr.record("b", "y", 0.5, 3.0)
+    assert tr.span() == (0.5, 3.0)
+
+
+def test_gantt_renders_rows_and_legend():
+    tr = Tracer()
+    tr.record("alpha", "fields", 0.0, 0.5)
+    tr.record("alpha", "wait", 0.5, 1.0)
+    tr.record("beta", "particles", 0.0, 1.0)
+    out = tr.gantt(width=20)
+    lines = out.splitlines()
+    assert any(line.startswith("alpha |") for line in lines)
+    assert any(line.startswith(" beta |") for line in lines)
+    assert "legend:" in lines[-1]
+    assert "F=fields" in lines[-1]
+
+
+def test_gantt_empty():
+    assert "no intervals" in Tracer().gantt()
+
+
+def test_gantt_window_validation():
+    tr = Tracer()
+    tr.record("a", "x", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        tr.gantt(t0=1.0, t1=1.0)
+
+
+def test_gantt_distinct_glyphs_for_colliding_labels():
+    tr = Tracer()
+    tr.record("a", "fields", 0.0, 1.0)
+    tr.record("a", "flush", 1.0, 2.0)  # same initial letter
+    out = tr.gantt(width=10)
+    legend = out.splitlines()[-1]
+    # both labels present with distinct glyphs
+    glyphs = dict(
+        part.split("=") for part in legend.replace("legend: ", "").split()
+        if "=" in part
+    )
+    inv = {v: k for k, v in glyphs.items()}
+    assert len(inv) == len(glyphs)
+
+
+def test_driver_tracing_produces_pipeline():
+    tracer = Tracer()
+    machine = build_deep_er_prototype()
+    run_experiment(
+        machine, Mode.CB, table2_setup(steps=5), nodes_per_solver=1, tracer=tracer
+    )
+    assert "CN0" in tracer.actors()
+    assert "BN0" in tracer.actors()
+    # booster computes particles while the cluster waits: overlap exists
+    cn_wait = tracer.busy_time("CN0", "wait")
+    bn_particles = tracer.busy_time("BN0", "particles")
+    assert cn_wait > 0.5 * bn_particles
+    assert tracer.busy_time("CN0", "fields") > 0
+
+
+def test_chrome_trace_export(tmp_path):
+    import json
+
+    tr = Tracer()
+    tr.record("CN0", "fields", 0.001, 0.002)
+    tr.record("BN0", "particles", 0.0, 0.004)
+    events = tr.to_chrome_trace()
+    spans = [e for e in events if e["ph"] == "X"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert len(spans) == 2 and len(metas) == 2
+    span = next(e for e in spans if e["name"] == "fields")
+    assert span["ts"] == pytest.approx(1000.0)  # microseconds
+    assert span["dur"] == pytest.approx(1000.0)
+    # distinct pids per actor
+    assert len({e["pid"] for e in spans}) == 2
+    path = tmp_path / "trace.json"
+    tr.save_chrome_trace(path)
+    assert json.loads(path.read_text()) == events

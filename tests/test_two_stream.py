@@ -1,0 +1,44 @@
+"""Physics validation: the two-stream instability in xPic."""
+
+import math
+import sys
+
+import pytest
+
+sys.path.insert(0, "examples")
+
+from repro.apps.xpic import XpicSimulation  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def history():
+    from two_stream_instability import two_stream_config
+
+    sim = XpicSimulation(two_stream_config(steps=120))
+    return sim.run()
+
+
+def test_field_energy_grows_exponentially(history):
+    fes = [d.field_energy for d in history]
+    assert max(fes[:100]) > 8 * fes[4]
+    # monotone-ish growth through the linear phase (smoothed)
+    assert fes[40] > fes[10]
+    assert fes[60] > fes[20]
+
+
+def test_beam_kinetic_energy_feeds_the_wave(history):
+    kes = [d.kinetic_energy for d in history]
+    assert min(kes) < 0.7 * kes[0]
+
+
+def test_saturation_below_initial_drift_energy(history):
+    """The wave saturates at the trapping level — it cannot exceed the
+    free energy available in the beams."""
+    fes = [d.field_energy for d in history]
+    kes = [d.kinetic_energy for d in history]
+    assert max(fes[:110]) < 1.5 * kes[0]
+
+
+def test_charge_stays_neutral(history):
+    for d in history:
+        assert abs(d.total_charge) < 1e-6

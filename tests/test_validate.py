@@ -1,0 +1,44 @@
+"""Tests for the claims-validation module."""
+
+import pytest
+
+from repro.validate import Claim, render_claims, validate_claims
+
+
+def test_claim_grading():
+    c = Claim("x", "s", "p", measured=1.3, low=1.0, high=1.5)
+    assert c.passed
+    assert not Claim("x", "s", "p", measured=1.6, low=1.0, high=1.5).passed
+    assert Claim("x", "s", "p", 1.0, 1.0, 1.0).passed  # inclusive bounds
+
+
+def test_claim_formatting():
+    c = Claim("x", "s", "p", measured=0.816, low=0, high=1, fmt="{:.1%}")
+    assert c.measured_str == "81.6%"
+
+
+@pytest.fixture(scope="module")
+def claims():
+    return validate_claims(steps=60)
+
+
+def test_all_claims_reproduce(claims):
+    failing = [c.claim_id for c in claims if not c.passed]
+    assert not failing, f"claims failed: {failing}"
+
+
+def test_claim_coverage(claims):
+    """Every table/figure of the evaluation contributes claims."""
+    ids = {c.claim_id for c in claims}
+    assert any(i.startswith("T1") for i in ids)
+    assert any(i.startswith("F3") for i in ids)
+    assert any(i.startswith("F7") for i in ids)
+    assert any(i.startswith("F8") for i in ids)
+    assert len(claims) >= 14
+
+
+def test_render_claims(claims):
+    out = render_claims(claims)
+    assert "Claims checklist" in out
+    assert f"{len(claims)}/{len(claims)} claims reproduced" in out
+    assert "PASS" in out

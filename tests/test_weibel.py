@@ -1,0 +1,57 @@
+"""Physics validation: the Weibel instability (electromagnetic loop)."""
+
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, "examples")
+
+from repro.apps.xpic import XpicSimulation  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def run():
+    from weibel_instability import weibel_config
+
+    sim = XpicSimulation(weibel_config(steps=200))
+    b_hist = []
+    for _ in range(200):
+        sim.step()
+        b_hist.append(float(np.sum(sim.fields.B**2)))
+    return sim, b_hist
+
+
+def test_magnetic_field_grows_from_noise(run):
+    _, b_hist = run
+    assert max(b_hist) > 20 * b_hist[4]
+
+
+def test_saturation(run):
+    """After trapping, the magnetic energy stops growing."""
+    _, b_hist = run
+    late = b_hist[-40:]
+    assert max(late) < 1.3 * min(late)
+    # and the peak is reached before the end (not still blowing up)
+    assert max(b_hist) < 1.3 * max(late)
+
+
+def test_anisotropy_is_consumed(run):
+    """The free energy source: <vz^2> of the beams decreases."""
+    sim, _ = run
+    vz2 = float(np.mean(np.concatenate(
+        [sp.v[2] for sp in sim.species[:2]]) ** 2))
+    assert vz2 < 0.6 * 0.25**2  # started at drift^2 = 0.0625
+
+
+def test_in_plane_field_dominates(run):
+    """Filaments along z make Bx, By >> Bz (the Weibel geometry)."""
+    sim, _ = run
+    bxy = float(np.sum(sim.fields.B[0] ** 2 + sim.fields.B[1] ** 2))
+    bz = float(np.sum(sim.fields.B[2] ** 2))
+    assert bxy > 5 * bz
+
+
+def test_divB_stays_zero(run):
+    sim, _ = run
+    assert sim.fields.div_B() < 1e-8

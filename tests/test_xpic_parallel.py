@@ -1,0 +1,185 @@
+"""Equivalence of the distributed numeric xPic with the reference loop.
+
+The strongest correctness statement in the repository: the same
+physics, computed (a) in one process, (b) slab-decomposed over the
+simulated MPI, and (c) partitioned across Cluster and Booster via
+MPI_Comm_spawn, must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.xpic import Mode, SpeciesConfig, XpicConfig, XpicSimulation
+from repro.apps.xpic.numeric_driver import run_numeric_experiment
+from repro.apps.xpic.parallel import (
+    DistributedFields,
+    DistributedParticles,
+    Slab,
+    load_slab_species,
+)
+from repro.hardware import build_deep_er_prototype
+from repro.mpi import MPIRuntime
+
+
+def small_cfg(steps=3, ny=16):
+    return XpicConfig(
+        nx=16,
+        ny=ny,
+        dt=0.05,
+        steps=steps,
+        cg_tol=1e-12,
+        species=(
+            SpeciesConfig("electrons", -1.0, 1.0, 8, thermal_velocity=0.05),
+            SpeciesConfig("ions", +1.0, 100.0, 8, thermal_velocity=0.01),
+        ),
+    )
+
+
+def reference_fingerprint(cfg):
+    sim = XpicSimulation(cfg)
+    sim.run()
+    return sim.state_fingerprint()
+
+
+def assert_fp_close(a, b, rtol=1e-7):
+    for key in a:
+        assert a[key] == pytest.approx(b[key], rel=rtol, abs=1e-10), key
+
+
+# -------------------------------------------------------------------- slab
+def test_slab_validation():
+    cfg = small_cfg()
+    with pytest.raises(ValueError):
+        Slab(cfg, 3, 0)  # 16 rows not divisible by 3
+    with pytest.raises(ValueError):
+        Slab(cfg, 2, 5)
+
+
+def test_slab_geometry():
+    cfg = small_cfg()
+    s = Slab(cfg, 4, 1)
+    assert s.rows == 4
+    assert s.row0 == 4
+    assert s.y0 == pytest.approx(0.25)
+    assert s.y1 == pytest.approx(0.5)
+    assert s.up == 2 and s.down == 0
+
+
+def test_slab_operators_match_global_grid():
+    """Slab laplacian/curl with correct ghosts == global operators."""
+    cfg = small_cfg()
+    from repro.apps.xpic.grid import Grid2D
+
+    g = Grid2D(cfg.nx, cfg.ny, cfg.lx, cfg.ly)
+    rng = np.random.default_rng(0)
+    f_global = rng.normal(size=(3, cfg.ny, cfg.nx))
+    lap_global = g.laplacian(f_global)
+    curl_global = g.curl(f_global)
+    for rank in range(4):
+        s = Slab(cfg, 4, rank)
+        ext = np.empty((3, s.rows + 2, s.nx))
+        rows = np.arange(s.row0 - 1, s.row0 + s.rows + 1) % cfg.ny
+        ext[:] = f_global[:, rows, :]
+        np.testing.assert_allclose(
+            s.laplacian(ext), lap_global[:, s.row0 : s.row0 + s.rows, :]
+        )
+        np.testing.assert_allclose(
+            s.curl(ext), curl_global[:, s.row0 : s.row0 + s.rows, :]
+        )
+
+
+def test_slab_species_partition_covers_population():
+    cfg = small_cfg()
+    total = 0
+    kinetic = 0.0
+    for rank in range(4):
+        s = Slab(cfg, 4, rank)
+        species = load_slab_species(cfg, s)
+        total += sum(sp.n for sp in species)
+        kinetic += sum(sp.kinetic_energy() for sp in species)
+    sim = XpicSimulation(cfg)
+    assert total == sum(sp.n for sp in sim.species)
+    assert kinetic == pytest.approx(
+        sum(sp.kinetic_energy() for sp in sim.species)
+    )
+
+
+# ------------------------------------------------- equivalence: homogeneous
+@pytest.mark.parametrize("n", [1, 2, 4])
+def test_distributed_matches_reference(n):
+    cfg = small_cfg(steps=3)
+    ref = reference_fingerprint(cfg)
+    machine = build_deep_er_prototype()
+    fp = run_numeric_experiment(machine, Mode.CLUSTER, cfg, nodes_per_solver=n)
+    assert_fp_close(fp, ref)
+
+
+def test_distributed_on_booster_matches_reference():
+    cfg = small_cfg(steps=2)
+    ref = reference_fingerprint(cfg)
+    machine = build_deep_er_prototype()
+    fp = run_numeric_experiment(machine, Mode.BOOSTER, cfg, nodes_per_solver=2)
+    assert_fp_close(fp, ref)
+
+
+# ----------------------------------------------------- equivalence: C+B
+@pytest.mark.parametrize("n", [1, 2])
+def test_cb_partition_matches_reference(n):
+    """The headline validation: the Cluster-Booster partition computes
+    the same physics as the original main loop."""
+    cfg = small_cfg(steps=3)
+    ref = reference_fingerprint(cfg)
+    machine = build_deep_er_prototype()
+    fp = run_numeric_experiment(machine, Mode.CB, cfg, nodes_per_solver=n)
+    assert_fp_close(fp, ref)
+
+
+def test_all_three_modes_agree():
+    cfg = small_cfg(steps=2)
+    fps = []
+    for mode in Mode:
+        machine = build_deep_er_prototype()
+        fps.append(
+            run_numeric_experiment(machine, mode, cfg, nodes_per_solver=2)
+        )
+    assert_fp_close(fps[0], fps[1], rtol=1e-9)
+    assert_fp_close(fps[0], fps[2], rtol=1e-9)
+
+
+# --------------------------------------------------------------- migration
+def test_migration_conserves_particles():
+    cfg = small_cfg(steps=0)
+    machine = build_deep_er_prototype()
+    rt = MPIRuntime(machine)
+    n = 4
+
+    def app(ctx):
+        comm = ctx.world
+        slab = Slab(cfg, n, comm.rank)
+        parts = DistributedParticles(slab, load_slab_species(cfg, slab))
+        # kick particles hard enough that many leave the slab
+        rng = np.random.default_rng(comm.rank)
+        for sp in parts.species:
+            sp.v[1] += rng.choice([-1.0, 1.0], size=sp.n) * 0.5
+            sp.y += 0.05 * sp.v[1]
+            np.mod(sp.y, 1.0, out=sp.y)
+        before = yield from comm.allreduce(parts.n_particles)
+        yield from parts.migrate(comm)
+        after = yield from comm.allreduce(parts.n_particles)
+        # every particle is now inside its slab
+        for sp in parts.species:
+            assert np.all((sp.y >= slab.y0) & (sp.y < slab.y1))
+        return before, after
+
+    results = rt.run_app(app, machine.cluster[:n])
+    for before, after in results:
+        assert before == after
+
+
+def test_migration_charge_conserved():
+    cfg = small_cfg(steps=2)
+    machine = build_deep_er_prototype()
+    ref = reference_fingerprint(cfg)
+    fp = run_numeric_experiment(machine, Mode.CLUSTER, cfg, nodes_per_solver=4)
+    # total deposited charge (rho_sum) is the strictest conservation
+    assert fp["rho_sum"] == pytest.approx(ref["rho_sum"], abs=1e-9)

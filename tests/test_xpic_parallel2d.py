@@ -1,0 +1,158 @@
+"""Equivalence of the 2D block-decomposed xPic with the reference."""
+
+import numpy as np
+import pytest
+
+from repro.apps.xpic import Mode, SpeciesConfig, XpicConfig, XpicSimulation
+from repro.apps.xpic.grid import Grid2D
+from repro.apps.xpic.numeric_driver2d import run_numeric_experiment_2d
+from repro.apps.xpic.parallel2d import (
+    Block2D,
+    DistributedParticles2D,
+    load_block_species,
+)
+from repro.hardware import build_deep_er_prototype
+from repro.mpi import MPIRuntime
+
+
+def small_cfg(steps=2, nx=16, ny=16):
+    return XpicConfig(
+        nx=nx,
+        ny=ny,
+        dt=0.05,
+        steps=steps,
+        cg_tol=1e-12,
+        species=(
+            SpeciesConfig("electrons", -1.0, 1.0, 8, thermal_velocity=0.05),
+            SpeciesConfig("ions", +1.0, 100.0, 8, thermal_velocity=0.01),
+        ),
+    )
+
+
+def reference_fingerprint(cfg):
+    sim = XpicSimulation(cfg)
+    sim.run()
+    return sim.state_fingerprint()
+
+
+def assert_fp_close(a, b, rtol=1e-7):
+    for key in a:
+        assert a[key] == pytest.approx(b[key], rel=rtol, abs=1e-10), key
+
+
+# ------------------------------------------------------------------- block
+def test_block_validation():
+    cfg = small_cfg()
+    with pytest.raises(ValueError):
+        Block2D(cfg, (3, 1), 0)  # 16 not divisible by 3
+    with pytest.raises(ValueError):
+        Block2D(cfg, (2, 2), 4)
+    with pytest.raises(ValueError):
+        Block2D(cfg, (0, 2), 0)
+
+
+def test_block_geometry_and_neighbours():
+    cfg = small_cfg()
+    b = Block2D(cfg, (2, 2), 3)  # top-right block
+    assert (b.rx, b.ry) == (1, 1)
+    assert (b.col0, b.row0) == (8, 8)
+    assert b.left == 2 and b.right == 2  # periodic pair in x
+    assert b.down == 1 and b.up == 1
+
+
+def test_block_operators_match_global():
+    cfg = small_cfg()
+    g = Grid2D(cfg.nx, cfg.ny, cfg.lx, cfg.ly)
+    rng = np.random.default_rng(0)
+    f = rng.normal(size=(3, cfg.ny, cfg.nx))
+    lap_g = g.laplacian(f)
+    curl_g = g.curl(f)
+    for rank in range(4):
+        b = Block2D(cfg, (2, 2), rank)
+        ext = np.empty((3, b.rows + 2, b.cols + 2))
+        rows = np.arange(b.row0 - 1, b.row0 + b.rows + 1) % cfg.ny
+        cols = np.arange(b.col0 - 1, b.col0 + b.cols + 1) % cfg.nx
+        ext[:] = f[:, rows[:, None], cols[None, :]]
+        np.testing.assert_allclose(
+            b.laplacian(ext),
+            lap_g[:, b.row0 : b.row0 + b.rows, b.col0 : b.col0 + b.cols],
+        )
+        np.testing.assert_allclose(
+            b.curl(ext),
+            curl_g[:, b.row0 : b.row0 + b.rows, b.col0 : b.col0 + b.cols],
+        )
+
+
+def test_block_species_cover_population():
+    cfg = small_cfg()
+    total = 0
+    for rank in range(4):
+        b = Block2D(cfg, (2, 2), rank)
+        total += sum(sp.n for sp in load_block_species(cfg, b))
+    assert total == sum(sp.n for sp in XpicSimulation(cfg).species)
+
+
+# -------------------------------------------------------------- equivalence
+@pytest.mark.parametrize("layout", [(2, 1), (1, 2), (2, 2), (4, 1)])
+def test_2d_homogeneous_matches_reference(layout):
+    cfg = small_cfg(steps=2)
+    ref = reference_fingerprint(cfg)
+    machine = build_deep_er_prototype()
+    fp = run_numeric_experiment_2d(machine, Mode.CLUSTER, cfg, layout=layout)
+    assert_fp_close(fp, ref)
+
+
+def test_2d_cb_partition_matches_reference():
+    cfg = small_cfg(steps=2)
+    ref = reference_fingerprint(cfg)
+    machine = build_deep_er_prototype()
+    fp = run_numeric_experiment_2d(machine, Mode.CB, cfg, layout=(2, 2))
+    assert_fp_close(fp, ref)
+
+
+def test_2d_matches_1d_slab_decomposition():
+    """(1, n) blocks are exactly the 1D slab decomposition."""
+    from repro.apps.xpic.numeric_driver import run_numeric_experiment
+
+    cfg = small_cfg(steps=2)
+    m1 = build_deep_er_prototype()
+    fp_1d = run_numeric_experiment(m1, Mode.CLUSTER, cfg, nodes_per_solver=4)
+    m2 = build_deep_er_prototype()
+    fp_2d = run_numeric_experiment_2d(m2, Mode.CLUSTER, cfg, layout=(1, 4))
+    assert_fp_close(fp_1d, fp_2d, rtol=1e-9)
+
+
+# ---------------------------------------------------------------- migration
+def test_2d_migration_reaches_diagonal_blocks():
+    cfg = small_cfg(steps=0)
+    machine = build_deep_er_prototype()
+    rt = MPIRuntime(machine)
+    layout = (2, 2)
+
+    def app(ctx):
+        comm = ctx.world
+        b = Block2D(cfg, layout, comm.rank)
+        parts = DistributedParticles2D(b, load_block_species(cfg, b))
+        # kick every particle diagonally by half the domain
+        for sp in parts.species:
+            sp.x = (sp.x + 0.5) % 1.0
+            sp.y = (sp.y + 0.5) % 1.0
+        before = yield from comm.allreduce(parts.n_particles)
+        yield from parts.migrate(comm)
+        after = yield from comm.allreduce(parts.n_particles)
+        for sp in parts.species:
+            assert np.all((sp.x >= b.x0) & (sp.x < b.x1))
+            assert np.all((sp.y >= b.y0) & (sp.y < b.y1))
+        return before, after
+
+    results = rt.run_app(app, machine.cluster[:4])
+    for before, after in results:
+        assert before == after
+
+
+def test_2d_charge_conservation():
+    cfg = small_cfg(steps=2)
+    ref = reference_fingerprint(cfg)
+    machine = build_deep_er_prototype()
+    fp = run_numeric_experiment_2d(machine, Mode.CLUSTER, cfg, layout=(2, 2))
+    assert fp["rho_sum"] == pytest.approx(ref["rho_sum"], abs=1e-9)
