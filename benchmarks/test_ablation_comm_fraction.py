@@ -6,21 +6,22 @@ measures the exchange cost fraction over node counts and interface
 buffer composition.
 """
 
-from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro import Engine, ExperimentSpec
+from repro.apps.xpic import table2_setup
 from repro.apps.xpic.workload import build_workload
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
 
 STEPS = 200
 
 
 def run_all():
+    engine = Engine()
     cfg = table2_setup(steps=STEPS)
     runs = {}
     for n in (1, 2, 4, 8):
-        runs[n] = run_experiment(
-            build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=n
-        )
+        runs[n] = engine.run(
+            ExperimentSpec(mode="C+B", steps=STEPS, nodes_per_solver=n)
+        ).run_result
     return cfg, runs
 
 

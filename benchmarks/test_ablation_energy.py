@@ -7,19 +7,21 @@ partition wins the energy-delay product because idle-module power is
 cheap while the speedup is real.
 """
 
-from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro import Engine, ExperimentSpec
+from repro.apps.xpic import Mode
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
 from repro.perfmodel import PowerModel
 
 STEPS = 200
 
 
 def run_all():
-    cfg = table2_setup(steps=STEPS)
+    engine = Engine()
     out = {}
     for mode in Mode:
-        r = run_experiment(build_deep_er_prototype(), mode, cfg, nodes_per_solver=1)
+        r = engine.run(
+            ExperimentSpec(mode=mode.value, steps=STEPS)
+        ).run_result
         out[mode] = (r, r.energy_report())
     return out
 
@@ -56,7 +58,7 @@ def test_energy_to_solution(benchmark, report):
     assert edp[Mode.CB] < edp[Mode.BOOSTER]
     # the architectural efficiency gap that motivates the Booster
     pm = PowerModel()
-    machine = build_deep_er_prototype()
+    machine = Engine().build_machine(ExperimentSpec())
     gf_w_cluster = pm.peak_flops_per_watt(machine.cluster[0]) / 1e9
     gf_w_booster = pm.peak_flops_per_watt(machine.booster[0]) / 1e9
     assert gf_w_booster > 2.5 * gf_w_cluster

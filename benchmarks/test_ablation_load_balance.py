@@ -14,9 +14,8 @@ send/recv link contention; the full-duplex model removed that
 artifact.)
 """
 
-from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro import Engine, ExperimentSpec
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
 
 STEPS = 200
 ALPHAS = (0.03, 0.10, 0.20)
@@ -24,15 +23,19 @@ N = 8
 
 
 def run_pair(alpha):
-    cfg = table2_setup(steps=STEPS)
-    base = run_experiment(
-        build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=N,
-        imbalance_alpha=alpha,
-    )
-    balanced = run_experiment(
-        build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=N,
-        load_balanced=True, imbalance_alpha=alpha,
-    )
+    engine = Engine()
+    base = engine.run(
+        ExperimentSpec(
+            mode="C+B", steps=STEPS, nodes_per_solver=N,
+            imbalance_alpha=alpha,
+        )
+    ).run_result
+    balanced = engine.run(
+        ExperimentSpec(
+            mode="C+B", steps=STEPS, nodes_per_solver=N,
+            load_balanced=True, imbalance_alpha=alpha,
+        )
+    ).run_result
     return base, balanced
 
 

@@ -6,24 +6,23 @@ field/particle workload through both mechanisms and compares overheads:
 spawn pays a one-time launch cost; OmpSs pays per-task data staging.
 """
 
-from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro import Engine, ExperimentSpec
+from repro.apps.xpic import table2_setup
 from repro.apps.xpic.ompss_port import run_xpic_ompss
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
 
 STEPS = 50
 
 
 def run_mpi_spawn():
-    cfg = table2_setup(steps=STEPS)
-    r = run_experiment(build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=1)
-    return r.total_runtime
+    return Engine().run(ExperimentSpec(mode="C+B", steps=STEPS)).total_runtime
 
 
 def run_ompss_offload():
     """The same main loop through the OmpSs offload port."""
     cfg = table2_setup(steps=STEPS)
-    r = run_xpic_ompss(build_deep_er_prototype(), cfg, steps=STEPS)
+    machine = Engine().build_machine(ExperimentSpec())
+    r = run_xpic_ompss(machine, cfg, steps=STEPS)
     assert r.tasks_completed == 2 * STEPS
     return r.total_runtime
 

@@ -5,21 +5,20 @@ allow to overlap with non critical operations" (section IV-B).  This
 bench disables the overlap and measures what it was worth.
 """
 
-from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro import Engine, ExperimentSpec
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
 
 STEPS = 200
 
 
 def run_pair(n):
-    cfg = table2_setup(steps=STEPS)
-    with_overlap = run_experiment(
-        build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=n, overlap=True
-    )
-    without = run_experiment(
-        build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=n, overlap=False
-    )
+    engine = Engine()
+    with_overlap = engine.run(
+        ExperimentSpec(mode="C+B", steps=STEPS, nodes_per_solver=n, overlap=True)
+    ).run_result
+    without = engine.run(
+        ExperimentSpec(mode="C+B", steps=STEPS, nodes_per_solver=n, overlap=False)
+    ).run_result
     return with_overlap, without
 
 

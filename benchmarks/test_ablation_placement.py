@@ -6,29 +6,26 @@ hardware (section IV-C).  This bench swaps the placement to show the
 partition direction is what wins, not partitioning per se.
 """
 
-from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro import Engine, ExperimentSpec
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
 
 STEPS = 200
 
 
 def run_all():
-    cfg = table2_setup(steps=STEPS)
-    out = {}
-    out["C+B (paper placement)"] = run_experiment(
-        build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=1
-    )
-    out["C+B (swapped placement)"] = run_experiment(
-        build_deep_er_prototype(), Mode.CB, cfg, nodes_per_solver=1, swap_placement=True
-    )
-    out["Cluster only"] = run_experiment(
-        build_deep_er_prototype(), Mode.CLUSTER, cfg, nodes_per_solver=1
-    )
-    out["Booster only"] = run_experiment(
-        build_deep_er_prototype(), Mode.BOOSTER, cfg, nodes_per_solver=1
-    )
-    return out
+    engine = Engine()
+
+    def run(mode, **kw):
+        return engine.run(
+            ExperimentSpec(mode=mode, steps=STEPS, **kw)
+        ).run_result
+
+    return {
+        "C+B (paper placement)": run("C+B"),
+        "C+B (swapped placement)": run("C+B", swap_placement=True),
+        "Cluster only": run("Cluster"),
+        "Booster only": run("Booster"),
+    }
 
 
 def test_placement_ablation(benchmark, report):

@@ -6,9 +6,9 @@ the global problem grows with the node count, so runtime should stay
 near-flat and the C+B advantage should persist at every size.
 """
 
-from repro.apps.xpic import Mode, XpicConfig, run_experiment
+from repro import Engine, ExperimentSpec
+from repro.apps.xpic import Mode, XpicConfig
 from repro.bench import render_series
-from repro.hardware import build_deep_er_prototype
 
 STEPS = 100
 
@@ -19,13 +19,18 @@ def weak_config(n):
 
 
 def run_all():
+    engine = Engine()
     out = {}
     for mode in Mode:
         for n in (1, 2, 4, 8):
-            machine = build_deep_er_prototype()
-            out[(mode, n)] = run_experiment(
-                machine, mode, weak_config(n), nodes_per_solver=n
-            )
+            out[(mode, n)] = engine.run(
+                ExperimentSpec(
+                    mode=mode.value,
+                    steps=STEPS,
+                    nodes_per_solver=n,
+                    config=weak_config(n),
+                )
+            ).run_result
     return out
 
 

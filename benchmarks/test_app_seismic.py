@@ -7,20 +7,21 @@ stencil belongs on the Booster whole, and forcing a Cluster-Booster
 split on it (shipping the wavefield each step) backfires.
 """
 
-from repro.apps.seismic import SeismicPlacement, run_seismic
+from repro import Engine, ExperimentSpec
+from repro.apps.seismic import SeismicPlacement
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
 
 CELLS = 4096 * 16
 STEPS = 200
 
 
 def run_all():
+    engine = Engine()
     out = {}
     for placement in SeismicPlacement:
-        out[placement] = run_seismic(
-            build_deep_er_prototype(), placement, cells=CELLS, steps=STEPS
-        )
+        out[placement] = engine.run(
+            ExperimentSpec(app="seismic", mode=placement.value, steps=STEPS)
+        ).run_result
     return out
 
 

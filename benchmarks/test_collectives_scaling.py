@@ -12,14 +12,14 @@ import math
 import pytest
 
 from repro.bench import render_series
-from repro.hardware import build_deep_er_prototype
+from repro.engine import preset_machine
 from repro.mpi import MPIRuntime
 
 SIZES = [2, 4, 8, 16]
 
 
 def timed_collective(module, op, size, payload_bytes=8):
-    machine = build_deep_er_prototype()
+    machine = preset_machine()
     pool = machine.cluster if module == "cluster" else machine.booster
     if size > len(pool):
         return None

@@ -1,0 +1,79 @@
+"""Microbenchmark — simulator event throughput (events/second).
+
+The engine's hot loop is the discrete-event core; everything else in
+the reproduction (fabric transfers, MPI waits, solver phases) reduces
+to scheduling and resuming events.  This bench measures raw event
+throughput two ways:
+
+* ``timeout``: the classic path, one :class:`~repro.sim.Event`
+  allocated per wait (``yield sim.timeout(dt)``);
+* ``fast-wakeup``: the allocation-free path, processes yield a bare
+  delay (``yield dt``) and the simulator reuses one pooled wakeup
+  record per process.
+
+The fast path exists because app drivers spend most of their yields on
+plain delays; it should at least match the classic path and typically
+clears it comfortably.
+"""
+
+import time
+
+from repro.bench import render_table
+from repro.sim import Simulator
+
+N_PROCS = 64
+N_WAITS = 400
+ROUNDS = 3
+
+
+def _classic(sim: Simulator):
+    for _ in range(N_WAITS):
+        yield sim.timeout(1.0)
+
+
+def _fast(sim: Simulator):
+    for _ in range(N_WAITS):
+        yield 1.0
+
+
+def _throughput(make_proc) -> float:
+    """Best-of-ROUNDS events/second for one wait style."""
+    best = 0.0
+    for _ in range(ROUNDS):
+        sim = Simulator()
+        for _ in range(N_PROCS):
+            sim.process(make_proc(sim))
+        t0 = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - t0
+        assert sim.events_processed >= N_PROCS * N_WAITS
+        best = max(best, sim.events_processed / elapsed)
+    return best
+
+
+def test_events_per_sec(benchmark, report):
+    classic, fast = benchmark.pedantic(
+        lambda: (_throughput(_classic), _throughput(_fast)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ("timeout (Event per wait)", f"{classic:,.0f}"),
+        ("fast-wakeup (bare delay)", f"{fast:,.0f}"),
+        ("speedup", f"{fast / classic:.2f}x"),
+    ]
+    report(
+        "events_per_sec",
+        render_table(
+            ["Wait style", "events/sec"],
+            rows,
+            title=(
+                f"Simulator event throughput ({N_PROCS} procs x "
+                f"{N_WAITS} waits, best of {ROUNDS})"
+            ),
+        ),
+    )
+    assert classic > 0 and fast > 0
+    # the fast path must not regress event throughput (lenient bound:
+    # CI machines are noisy; locally this runs well above 1.0)
+    assert fast > classic * 0.8

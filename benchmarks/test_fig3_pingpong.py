@@ -15,13 +15,14 @@ from repro.bench import (
     fig3_sizes_latency,
     render_series,
 )
-from repro.hardware import build_deep_er_prototype, presets
+from repro.engine import preset_machine
+from repro.hardware import presets
 
 
 def run_fig3():
-    machine = build_deep_er_prototype()
+    machine = preset_machine()
     lat = fig3_series(machine, fig3_sizes_latency())
-    bw = fig3_series(build_deep_er_prototype(), fig3_sizes_bandwidth())
+    bw = fig3_series(preset_machine(), fig3_sizes_bandwidth())
     return lat, bw
 
 

@@ -7,7 +7,7 @@ reduces the frequency of accesses to the global storage."
 """
 
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
+from repro.engine import preset_machine
 from repro.io import BeeGFS, BeeondCache, CacheMode
 
 NBYTES = 64 * 2**20  # 64 MiB per rank
@@ -15,7 +15,7 @@ N_RANKS = 8
 
 
 def timed_write(kind):
-    machine = build_deep_er_prototype()
+    machine = preset_machine()
     fs = BeeGFS(machine)
     clients = machine.booster[:N_RANKS]
     cache = None if kind == "direct" else BeeondCache(fs, mode=CacheMode(kind))

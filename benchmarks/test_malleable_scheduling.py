@@ -8,7 +8,7 @@ allocations on a fragmented job stream.
 import numpy as np
 
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
+from repro.engine import preset_machine
 from repro.jobs import AdaptiveScheduler, MalleableJob
 from repro.sim import Simulator
 
@@ -33,7 +33,7 @@ def job_stream(seed=5):
 
 def run_policy(adaptive):
     sim = Simulator()
-    machine = build_deep_er_prototype()
+    machine = preset_machine()
     sched = AdaptiveScheduler(
         sim, machine.cluster, reconfig_cost_s=30.0, adaptive=adaptive
     )

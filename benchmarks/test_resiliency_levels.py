@@ -6,7 +6,7 @@ performed, based on a failure model of the DEEP-ER prototype".
 """
 
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
+from repro.engine import preset_machine
 from repro.io import BeeGFS
 from repro.nam import NAMDevice
 from repro.resiliency import SCR, CheckpointLevel, expected_runtime, optimal_interval
@@ -16,7 +16,7 @@ N_RANKS = 4
 
 
 def timed_level(level, n_ranks=N_RANKS):
-    machine = build_deep_er_prototype()
+    machine = preset_machine()
     fs = BeeGFS(machine)
     nam = NAMDevice(machine, machine.nams[0])
     scr = SCR(machine.sim, machine.booster[:n_ranks], machine.fabric, fs=fs, nam=nam)

@@ -8,7 +8,7 @@ policies.
 """
 
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
+from repro.engine import preset_machine
 from repro.jobs import (
     AcceleratedNodeAllocator,
     BatchScheduler,
@@ -22,7 +22,7 @@ N_JOBS = 60
 
 def run_policy(accelerated, seed=11):
     sim = Simulator()
-    machine = build_deep_er_prototype()
+    machine = preset_machine()
     cls = AcceleratedNodeAllocator if accelerated else ModularAllocator
     sched = BatchScheduler(sim, cls(machine.cluster, machine.booster))
     sched.submit_all(mixed_center_workload(N_JOBS, seed=seed))

@@ -12,9 +12,9 @@ import contextlib
 
 import pytest
 
-from repro.apps.xpic import Mode, run_experiment, table2_setup
+from repro import Engine, ExperimentSpec
+from repro.apps.xpic import Mode
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype
 from repro.perfmodel import VECTOR_EFFICIENCY, solver_ratios
 from repro.perfmodel.kernels import AccessPattern
 
@@ -34,14 +34,18 @@ def knl_gather_efficiency(value):
 
 def run_point(eff):
     with knl_gather_efficiency(eff):
-        cfg = table2_setup(steps=STEPS)
-        m = build_deep_er_prototype(cluster_nodes=2, booster_nodes=2)
+        engine = Engine()
+        m = engine.build_machine(
+            ExperimentSpec(
+                machine_overrides={"cluster_nodes": 2, "booster_nodes": 2}
+            )
+        )
         ratios = solver_ratios(m.cluster[0], m.booster[0])
         runs = {}
         for mode in Mode:
-            runs[mode] = run_experiment(
-                build_deep_er_prototype(), mode, cfg, nodes_per_solver=1
-            )
+            runs[mode] = engine.run(
+                ExperimentSpec(mode=mode.value, steps=STEPS)
+            ).run_result
         return ratios, runs
 
 

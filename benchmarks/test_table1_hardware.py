@@ -5,12 +5,13 @@ against the paper's values.
 """
 
 from repro.bench import render_table
-from repro.hardware import build_deep_er_prototype, table1_rows
+from repro.engine import preset_machine
+from repro.hardware import table1_rows
 
 
 def test_table1_hardware_configuration(benchmark, report):
     rows = benchmark.pedantic(
-        lambda: table1_rows(build_deep_er_prototype()), rounds=1, iterations=1
+        lambda: table1_rows(preset_machine()), rounds=1, iterations=1
     )
     report(
         "table1",

@@ -10,14 +10,14 @@ onto a spare node — without the surviving ranks losing their state
 Run:  python examples/checkpoint_restart.py
 """
 
-from repro.hardware import build_deep_er_prototype
+from repro.engine import preset_machine
 from repro.io import BeeGFS
 from repro.nam import NAMDevice
 from repro.resiliency import SCR, CheckpointLevel, optimal_interval
 
 
 def main():
-    machine = build_deep_er_prototype()
+    machine = preset_machine()
     fs = BeeGFS(machine)
     nam = NAMDevice(machine, machine.nams[0])
     job_nodes = machine.booster[:4]

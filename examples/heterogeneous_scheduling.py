@@ -13,7 +13,7 @@ xPic) on the prototype under the two policies of section II:
 Run:  python examples/heterogeneous_scheduling.py
 """
 
-from repro.hardware import build_deep_er_prototype
+from repro.engine import preset_machine
 from repro.jobs import (
     AcceleratedNodeAllocator,
     BatchScheduler,
@@ -26,7 +26,7 @@ from repro.sim import Simulator
 
 def run(policy_name, allocator_cls, jobs):
     sim = Simulator()
-    machine = build_deep_er_prototype()
+    machine = preset_machine()
     sched = BatchScheduler(sim, allocator_cls(machine.cluster, machine.booster))
     sched.submit_all(jobs)
     sim.run()
@@ -62,7 +62,7 @@ def main():
         ("host-coupled", AcceleratedNodeAllocator),
     ):
         sim = Simulator()
-        machine = build_deep_er_prototype()
+        machine = preset_machine()
         sched = BatchScheduler(sim, cls(machine.cluster, machine.booster))
         sched.submit_all(
             [Job("cpu", 16, 0, 3600.0), Job("acc", 0, 8, 3600.0)]

@@ -11,7 +11,7 @@ Run:  python examples/offload_with_spawn.py
 
 import numpy as np
 
-from repro.hardware import build_deep_er_prototype
+from repro.engine import preset_machine
 from repro.mpi import MPIRuntime
 
 
@@ -46,7 +46,7 @@ def booster_parent(ctx, machine):
 
 
 def main():
-    machine = build_deep_er_prototype()
+    machine = preset_machine()
     rt = MPIRuntime(machine)
     results = rt.run_app(
         lambda ctx: booster_parent(ctx, machine), machine.booster[:2]

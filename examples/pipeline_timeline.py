@@ -10,18 +10,12 @@ under the Cluster's field solve ('F').
 Run:  python examples/pipeline_timeline.py
 """
 
-from repro.apps.xpic import Mode, run_experiment, table2_setup
-from repro.hardware import build_deep_er_prototype
-from repro.sim import Tracer
+from repro import Engine, ExperimentSpec
 
 
 def main():
-    tracer = Tracer()
-    machine = build_deep_er_prototype()
-    config = table2_setup(steps=12)
-    result = run_experiment(
-        machine, Mode.CB, config, nodes_per_solver=1, tracer=tracer
-    )
+    report = Engine().run(ExperimentSpec(mode="C+B", steps=12, trace=True))
+    tracer = report.tracer
 
     # window on two mid-run steps (skip pipeline fill)
     steps = tracer.timeline("BN0")
@@ -39,13 +33,13 @@ def main():
             for label in ("fields", "particles", "aux", "xchg", "io", "wait")
         }
         busy = {k: v for k, v in busy.items() if v > 0}
-        total = result.total_runtime
+        total = report.total_runtime
         parts = ", ".join(
             f"{k} {v / total * 100:.1f}%" for k, v in busy.items()
         )
         print(f"{actor}: {parts}")
-    print(f"\ntotal C+B runtime: {result.total_runtime:.2f} s "
-          f"({config.steps} steps)")
+    print(f"\ntotal C+B runtime: {report.total_runtime:.2f} s "
+          f"({report.result['steps']} steps)")
     print("the Cluster node idles most of the time — in production this "
           "capacity goes to other jobs via the modular scheduler.")
 

@@ -1,20 +1,28 @@
 #!/usr/bin/env python
-"""Quickstart: build the DEEP-ER prototype, run xPic in all three modes.
+"""Quickstart: run xPic in all three modes through the experiment engine.
 
 This reproduces the headline experiment of the paper (Fig 7) in about a
 second of wall time: the same Table II workload executed on one Cluster
-node, one Booster node, and partitioned across one of each (C+B).
+node, one Booster node, and partitioned across one of each (C+B) — each
+run described as an ExperimentSpec and executed by the Engine, which
+also hands back per-layer metrics (fabric traffic, MPI communicators).
+
+The same run is available from the command line:
+
+    python -m repro run --preset deep-er --app xpic --mode cb --steps 500
 
 Run:  python examples/quickstart.py
 """
 
-from repro.apps.xpic import Mode, run_experiment, table2_setup
-from repro.hardware import build_deep_er_prototype, table1_rows
+from repro import Engine, ExperimentSpec
+from repro.apps.xpic import Mode
 
 
 def main():
+    engine = Engine()
+
     # --- the machine: Table I of the paper ------------------------------
-    machine = build_deep_er_prototype()
+    machine = engine.build_machine(ExperimentSpec(preset="deep-er"))
     print("The simulated DEEP-ER prototype:")
     print(f"  {len(machine.cluster)} Cluster nodes (Haswell), "
           f"{len(machine.booster)} Booster nodes (KNL),")
@@ -25,31 +33,40 @@ def main():
     print(f"  MPI latency: {lat_cc:.1f} us (Cluster), {lat_bb:.1f} us (Booster)")
     print()
 
-    # --- the workload: Table II ------------------------------------------
-    config = table2_setup(steps=500)
-    print(f"xPic workload: {config.cells} cells/node, "
-          f"{config.particles_per_cell} particles/cell, {config.steps} steps")
+    # --- the three modes of Fig 7 ----------------------------------------
+    reports = {
+        mode: engine.run(ExperimentSpec(mode=mode.value, steps=500))
+        for mode in (Mode.CLUSTER, Mode.BOOSTER, Mode.CB)
+    }
+    print(f"xPic workload: Table II, {reports[Mode.CB].result['steps']} steps")
     print()
 
-    # --- the three modes of Fig 7 ----------------------------------------
-    results = {}
-    for mode in (Mode.CLUSTER, Mode.BOOSTER, Mode.CB):
-        machine = build_deep_er_prototype()  # fresh machine per run
-        results[mode] = run_experiment(machine, mode, config, nodes_per_solver=1)
-
     print(f"{'Mode':10s} {'Fields [s]':>11s} {'Particles [s]':>14s} {'Total [s]':>10s}")
-    for mode, r in results.items():
+    for mode, r in reports.items():
         print(f"{mode.value:10s} {r.fields_time:11.2f} "
               f"{r.particles_time:14.2f} {r.total_runtime:10.2f}")
     print()
 
-    gain_c = results[Mode.CLUSTER].total_runtime / results[Mode.CB].total_runtime
-    gain_b = results[Mode.BOOSTER].total_runtime / results[Mode.CB].total_runtime
+    gain_c = reports[Mode.CLUSTER].total_runtime / reports[Mode.CB].total_runtime
+    gain_b = reports[Mode.BOOSTER].total_runtime / reports[Mode.CB].total_runtime
     print(f"C+B performance gain vs Cluster-only: {gain_c:.2f}x (paper: 1.28x)")
     print(f"C+B performance gain vs Booster-only: {gain_b:.2f}x (paper: 1.21x)")
     print(f"Inter-module exchange overhead: "
-          f"{results[Mode.CB].comm_overhead_fraction * 100:.1f}% "
+          f"{reports[Mode.CB].comm_overhead_fraction * 100:.1f}% "
           "(paper: 'a small fraction', 3-4% per solver)")
+    print()
+
+    # --- what the instrumentation saw ------------------------------------
+    cb = reports[Mode.CB]
+    print("Cross-layer metrics of the C+B run:")
+    print(f"  fabric: {cb.network['total_bytes']:,} bytes in "
+          f"{cb.network['total_messages']} messages over "
+          f"{len(cb.network['links'])} links")
+    for name, stats in sorted(cb.mpi["communicators"].items()):
+        print(f"  communicator {name}: {stats['p2p_messages']} p2p msgs, "
+              f"{stats['p2p_bytes']:,} bytes")
+    print(f"  simulator: {cb.sim['events_processed']} events "
+          f"({cb.sim['events_per_sec']:,.0f} events/s host speed)")
 
 
 if __name__ == "__main__":

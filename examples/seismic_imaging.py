@@ -18,7 +18,7 @@ from repro.apps.seismic import (
     ricker_wavelet,
     run_seismic,
 )
-from repro.hardware import build_deep_er_prototype
+from repro.engine import preset_machine
 
 
 def ascii_wavefield(p, width=72, height=24):
@@ -59,7 +59,7 @@ def main():
     print("placement on the prototype (4096*16 cells, 200 steps):")
     for placement in SeismicPlacement:
         r = run_seismic(
-            build_deep_er_prototype(), placement, cells=4096 * 16, steps=200
+            preset_machine(), placement, cells=4096 * 16, steps=200
         )
         note = {
             SeismicPlacement.CLUSTER: "DDR4-bound",

@@ -13,7 +13,7 @@ Run:  python examples/writing_partitioned_apps.py
 
 import numpy as np
 
-from repro.hardware import build_deep_er_prototype
+from repro.engine import preset_machine
 from repro.io import BeeGFS
 from repro.mpi import (
     MODE_CREATE,
@@ -95,7 +95,7 @@ def heat_app(ctx, fs, report):
 
 
 def main():
-    machine = build_deep_er_prototype()
+    machine = preset_machine()
     fs = BeeGFS(machine)
     rt = MPIRuntime(machine)
     report = {}

@@ -15,12 +15,25 @@ the full stack the paper describes:
 * :mod:`repro.resiliency` — SCR-like multi-level checkpoint/restart
 * :mod:`repro.nam`        — network attached memory
 * :mod:`repro.apps.xpic`  — the xPic PIC application (Figs 5-8)
+* :mod:`repro.engine`     — declarative experiment specs + run engine
+* :mod:`repro.instrument` — cross-layer metrics hub
 * :mod:`repro.bench`      — benchmark harnesses per table/figure
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from .engine import Engine, ExperimentSpec, RunReport
 from .hardware import Machine, build_deep_er_prototype
+from .instrument import MetricsHub
 from .sim import Simulator
 
-__all__ = ["Simulator", "Machine", "build_deep_er_prototype", "__version__"]
+__all__ = [
+    "Simulator",
+    "Machine",
+    "build_deep_er_prototype",
+    "Engine",
+    "ExperimentSpec",
+    "RunReport",
+    "MetricsHub",
+    "__version__",
+]

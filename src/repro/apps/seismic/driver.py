@@ -121,10 +121,11 @@ def run_seismic(
     cells: int = 4096 * 16,
     steps: int = 200,
     nodes: int = 1,
+    runtime: Optional[MPIRuntime] = None,
 ) -> SeismicResult:
     """Run the seismic workload under one placement."""
     placement = SeismicPlacement(placement)
-    rt = MPIRuntime(machine)
+    rt = runtime if runtime is not None else MPIRuntime(machine)
     halo_nbytes = int((cells**0.5)) * 8 * 3  # one row of three arrays
 
     if placement in (SeismicPlacement.CLUSTER, SeismicPlacement.BOOSTER):

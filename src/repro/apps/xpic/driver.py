@@ -428,6 +428,7 @@ def run_experiment(
     tracer: Optional[Tracer] = None,
     load_balanced: bool = False,
     imbalance_alpha: Optional[float] = None,
+    runtime: Optional[MPIRuntime] = None,
 ) -> RunResult:
     """Run one xPic experiment and return its timing breakdown.
 
@@ -446,7 +447,9 @@ def run_experiment(
     if imbalance_alpha is not None:
         kwargs["imbalance_alpha"] = imbalance_alpha
     wl = build_workload(config, n, **kwargs)
-    rt = MPIRuntime(machine)
+    rt = runtime if runtime is not None else MPIRuntime(machine)
+    if rt.machine is not machine:
+        raise ValueError("runtime belongs to a different machine")
 
     if mode in (Mode.CLUSTER, Mode.BOOSTER):
         nodes = machine.cluster[:n] if mode is Mode.CLUSTER else machine.booster[:n]

@@ -1,12 +1,19 @@
-"""Experiment runners shared by the benchmark suite and EXPERIMENTS.md."""
+"""Experiment runners shared by the benchmark suite and EXPERIMENTS.md.
+
+The Fig 7/8 runners are thin :class:`~repro.engine.ExperimentSpec`
+sweeps over the unified engine: every run goes down the same
+instrumented path, and the per-run :class:`~repro.engine.RunReport`
+(cross-layer metrics, Chrome-trace export) rides along next to the
+app-level timings the figures need.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
-from ..apps.xpic import Mode, RunResult, run_experiment, table2_setup
-from ..hardware import build_deep_er_prototype
+from ..apps.xpic import Mode, RunResult
+from ..engine import Engine, ExperimentSpec, RunReport
 from ..perfmodel import parallel_efficiency
 
 __all__ = ["Fig7Result", "Fig8Result", "run_fig7", "run_fig8", "FIG78_STEPS"]
@@ -16,11 +23,26 @@ __all__ = ["Fig7Result", "Fig8Result", "run_fig7", "run_fig8", "FIG78_STEPS"]
 FIG78_STEPS = 500
 
 
+def experiment_spec(
+    mode: Mode, steps: int, nodes_per_solver: int = 1, **kwargs
+) -> ExperimentSpec:
+    """The canonical Fig 7/8 spec: DEEP-ER preset, xPic, Table II."""
+    return ExperimentSpec(
+        preset="deep-er",
+        app="xpic",
+        mode=Mode(mode).value,
+        steps=steps,
+        nodes_per_solver=nodes_per_solver,
+        **kwargs,
+    )
+
+
 @dataclass
 class Fig7Result:
     """The three single-node runs of Fig 7."""
 
     runs: Dict[Mode, RunResult]
+    reports: Dict[Mode, RunReport] = field(default_factory=dict)
 
     @property
     def gain_vs_cluster(self) -> float:
@@ -61,6 +83,7 @@ class Fig8Result:
 
     node_counts: List[int]
     runs: Dict[Tuple[Mode, int], RunResult]
+    reports: Dict[Tuple[Mode, int], RunReport] = field(default_factory=dict)
 
     def runtime(self, mode: Mode, n: int) -> float:
         """Total runtime of one (mode, node count) run."""
@@ -77,26 +100,34 @@ class Fig8Result:
         return self.runtime(baseline, n) / self.runtime(Mode.CB, n)
 
 
-def run_fig7(steps: int = FIG78_STEPS) -> Fig7Result:
+def run_fig7(
+    steps: int = FIG78_STEPS, engine: Optional[Engine] = None
+) -> Fig7Result:
     """Run the three single-node experiments of Fig 7."""
-    cfg = table2_setup(steps=steps)
-    runs = {}
-    for mode in Mode:
-        machine = build_deep_er_prototype()
-        runs[mode] = run_experiment(machine, mode, cfg, nodes_per_solver=1)
-    return Fig7Result(runs=runs)
+    engine = engine or Engine()
+    reports = {
+        mode: engine.run(experiment_spec(mode, steps)) for mode in Mode
+    }
+    return Fig7Result(
+        runs={m: r.run_result for m, r in reports.items()}, reports=reports
+    )
 
 
 def run_fig8(
-    steps: int = FIG78_STEPS, node_counts: Tuple[int, ...] = (1, 2, 4, 8)
+    steps: int = FIG78_STEPS,
+    node_counts: Tuple[int, ...] = (1, 2, 4, 8),
+    engine: Optional[Engine] = None,
 ) -> Fig8Result:
     """Run the full scaling sweep of Fig 8 (3 modes x node counts)."""
-    cfg = table2_setup(steps=steps)
-    runs = {}
+    engine = engine or Engine()
+    reports = {}
     for mode in Mode:
         for n in node_counts:
-            machine = build_deep_er_prototype()
-            runs[(mode, n)] = run_experiment(
-                machine, mode, cfg, nodes_per_solver=n
+            reports[(mode, n)] = engine.run(
+                experiment_spec(mode, steps, nodes_per_solver=n)
             )
-    return Fig8Result(node_counts=list(node_counts), runs=runs)
+    return Fig8Result(
+        node_counts=list(node_counts),
+        runs={k: r.run_result for k, r in reports.items()},
+        reports=reports,
+    )

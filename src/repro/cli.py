@@ -2,10 +2,12 @@
 
 Usage::
 
+    python -m repro run --mode cb --steps 100   # one instrumented run
     python -m repro table1            # Table I from the machine model
     python -m repro fig3              # fabric bandwidth/latency curves
     python -m repro fig7 [--steps N]  # single-node mode comparison
     python -m repro fig8 [--steps N]  # scaling sweep
+    python -m repro report [FILE]     # benchmark digest, or one RunReport
     python -m repro all               # everything above
 """
 
@@ -16,6 +18,7 @@ import sys
 from typing import List, Optional
 
 from .apps.xpic import Mode
+from .engine import MACHINE_PRESETS, Engine, ExperimentSpec, RunReport
 from .bench import (
     FIG78_STEPS,
     fig3_series,
@@ -26,13 +29,18 @@ from .bench import (
     run_fig7,
     run_fig8,
 )
-from .hardware import build_deep_er_prototype, table1_rows
+from .hardware import table1_rows
 
 __all__ = ["main"]
 
 
+def _preset_machine(preset: str = "deep-er"):
+    """Build an unrun machine through the engine's preset path."""
+    return Engine().build_machine(ExperimentSpec(preset=preset))
+
+
 def cmd_table1(_args) -> str:
-    rows = table1_rows(build_deep_er_prototype())
+    rows = table1_rows(_preset_machine())
     return render_table(
         ["Feature", "Cluster", "Booster"],
         rows,
@@ -41,8 +49,8 @@ def cmd_table1(_args) -> str:
 
 
 def cmd_fig3(_args) -> str:
-    lat = fig3_series(build_deep_er_prototype(), fig3_sizes_latency())
-    bw = fig3_series(build_deep_er_prototype(), fig3_sizes_bandwidth())
+    lat = fig3_series(_preset_machine(), fig3_sizes_latency())
+    bw = fig3_series(_preset_machine(), fig3_sizes_bandwidth())
     out = [
         render_series(
             "Bytes",
@@ -117,15 +125,102 @@ def cmd_fig8(args) -> str:
     return "\n".join(out)
 
 
+def render_run_report(report: RunReport) -> str:
+    """Human-readable digest of one RunReport."""
+    spec = report.spec
+    rows = [
+        ("app / mode", f"{spec.get('app')} / {report.result.get('mode')}"),
+        ("preset", str(spec.get("preset"))),
+        ("steps", str(report.result.get("steps"))),
+        ("nodes/solver", str(report.result.get("nodes_per_solver"))),
+        ("total runtime [s]", f"{report.total_runtime:.4f}"),
+    ]
+    if report.result.get("app") == "xpic":
+        rows += [
+            ("fields time [s]", f"{report.fields_time:.4f}"),
+            ("particles time [s]", f"{report.particles_time:.4f}"),
+        ]
+    rows += [
+        ("comm overhead", f"{report.comm_overhead_fraction:.2%}"),
+        ("network bytes", str(report.network.get("total_bytes", 0))),
+        ("network messages", str(report.network.get("total_messages", 0))),
+        ("sim events", str(report.sim.get("events_processed", 0))),
+        ("events/sec", f"{report.sim.get('events_per_sec', 0.0):,.0f}"),
+    ]
+    out = [render_table(["Metric", "Value"], rows, title="Run report")]
+    links = report.network.get("links", {})
+    if links:
+        out.append("")
+        out.append(
+            render_table(
+                ["Link", "Bytes", "Messages", "Stall [s]"],
+                [
+                    (k, str(m["bytes"]), str(m["messages"]),
+                     f"{m['stall_time_s']:.4f}")
+                    for k, m in sorted(links.items())
+                ],
+                title="Per-link traffic",
+            )
+        )
+    comms = report.mpi.get("communicators", {})
+    if comms:
+        out.append("")
+        out.append(
+            render_table(
+                ["Communicator", "p2p msgs", "p2p bytes",
+                 "coll msgs", "coll bytes"],
+                [
+                    (k, str(c["p2p_messages"]), str(c["p2p_bytes"]),
+                     str(c["coll_messages"]), str(c["coll_bytes"]))
+                    for k, c in sorted(comms.items())
+                ],
+                title="Per-communicator traffic",
+            )
+        )
+    return "\n".join(out)
+
+
+def cmd_run(args) -> str:
+    """Run one experiment through the engine and print its report."""
+    spec = ExperimentSpec(
+        preset=args.preset,
+        app=args.app,
+        mode=args.mode,
+        steps=args.steps,
+        nodes_per_solver=args.nodes,
+        overlap=not args.no_overlap,
+        swap_placement=args.swap_placement,
+        seed=args.seed,
+        trace=args.trace or bool(args.chrome_trace),
+    )
+    report = Engine().run(spec)
+    if args.json:
+        report.save(args.json)
+    if args.chrome_trace:
+        report.save_chrome_trace(args.chrome_trace)
+    text = render_run_report(report)
+    notes = []
+    if args.json:
+        notes.append(f"report JSON written to {args.json}")
+    if args.chrome_trace:
+        notes.append(f"Chrome trace written to {args.chrome_trace}")
+    if notes:
+        text += "\n\n" + "\n".join(notes)
+    return text
+
+
 def cmd_validate(args) -> str:
     from .validate import render_claims, validate_claims
 
     return render_claims(validate_claims(steps=args.steps))
 
 
-def cmd_report(_args) -> str:
-    """Compose every archived benchmark table into one document."""
+def cmd_report(args) -> str:
+    """Render a saved RunReport, or compose archived benchmark tables."""
     import pathlib
+
+    if getattr(args, "file", None):
+        return render_run_report(RunReport.load(args.file))
 
     results = pathlib.Path("benchmarks/_results")
     if not results.is_dir():
@@ -178,8 +273,68 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", help="Table I: hardware configuration")
     sub.add_parser("fig3", help="Fig 3: fabric bandwidth and latency")
-    sub.add_parser(
-        "report", help="compose archived benchmark tables into one document"
+    rp = sub.add_parser(
+        "report",
+        help="render a saved run report, or compose archived benchmark tables",
+    )
+    rp.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="RunReport JSON file written by `repro run --json` "
+        "(omit to compose benchmarks/_results)",
+    )
+    rn = sub.add_parser(
+        "run", help="run one instrumented experiment through the engine"
+    )
+    rn.add_argument(
+        "--preset",
+        default="deep-er",
+        choices=sorted(MACHINE_PRESETS),
+        help="machine preset (default deep-er)",
+    )
+    rn.add_argument(
+        "--app",
+        default="xpic",
+        choices=["xpic", "seismic"],
+        help="application driver (default xpic)",
+    )
+    rn.add_argument(
+        "--mode",
+        default="cb",
+        help="placement: cluster / booster / cb (xpic), "
+        "cluster / booster / split (seismic)",
+    )
+    rn.add_argument("--steps", type=int, default=100, help="time steps")
+    rn.add_argument(
+        "--nodes", type=int, default=1, help="nodes per solver (default 1)"
+    )
+    rn.add_argument(
+        "--seed", type=int, default=20180521, help="workload RNG seed"
+    )
+    rn.add_argument(
+        "--no-overlap",
+        action="store_true",
+        help="disable communication/compute overlap (xpic)",
+    )
+    rn.add_argument(
+        "--swap-placement",
+        action="store_true",
+        help="swap solver placement: fields on Booster, particles on Cluster",
+    )
+    rn.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-phase intervals (implied by --chrome-trace)",
+    )
+    rn.add_argument(
+        "--json", metavar="FILE", default=None, help="write RunReport JSON"
+    )
+    rn.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        default=None,
+        help="write Chrome trace-event JSON (chrome://tracing, Perfetto)",
     )
     for name, hlp in (
         ("fig7", "Fig 7: single-node mode comparison"),
@@ -201,6 +356,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handler = {
+        "run": cmd_run,
         "table1": cmd_table1,
         "fig3": cmd_fig3,
         "fig7": cmd_fig7,
@@ -211,6 +367,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     }[args.command]
     try:
         print(handler(args))
+    except (ValueError, FileNotFoundError) as exc:
+        # bad spec values / missing report files: a message, not a trace
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # output piped into a pager/head that closed early: not an error
         import os

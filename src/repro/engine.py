@@ -1,0 +1,445 @@
+"""The unified experiment engine: one instrumented run path.
+
+Every consumer of the stack — CLI, claims validation, the Fig 7/8
+runners, examples — describes a run as a declarative
+:class:`ExperimentSpec` (machine preset, app, mode/placement, steps)
+and hands it to the :class:`Engine`, which builds the machine, the MPI
+runtime, and the instrumentation hub, executes the app driver, and
+returns a structured :class:`RunReport` carrying the app-level result
+*and* metrics from every layer (simulator, fabric links, MPI
+communicators, traced phases).
+
+This mirrors how the real DEEP-ER prototype gives one launch/measure
+path (ParaStation startup + system-wide monitoring) to every
+application, instead of each experiment hand-wiring its own stack.
+
+Typical use::
+
+    from repro.engine import Engine, ExperimentSpec
+
+    report = Engine().run(ExperimentSpec(mode="C+B", steps=100))
+    print(report.total_runtime, report.network["total_bytes"])
+    report.save_chrome_trace("run.trace.json")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .apps.seismic import SeismicPlacement, run_seismic
+from .apps.xpic import Mode, run_experiment, table2_setup
+from .apps.xpic.config import SpeciesConfig, XpicConfig
+from .hardware.machine import (
+    Machine,
+    build_deep_er_prototype,
+    build_jureca_like,
+)
+from .instrument import MetricsHub
+from .mpi import MPIRuntime
+from .sim import Simulator, Tracer
+
+__all__ = [
+    "ExperimentSpec",
+    "RunReport",
+    "Engine",
+    "MACHINE_PRESETS",
+    "REPORT_SCHEMA",
+    "preset_machine",
+]
+
+#: schema tag of the RunReport JSON export (bump on breaking change)
+REPORT_SCHEMA = "repro.run_report/1"
+
+#: machine presets: name -> builder taking (sim=..., **overrides)
+MACHINE_PRESETS = {
+    "deep-er": build_deep_er_prototype,
+    "jureca": build_jureca_like,
+}
+
+_MODE_ALIASES = {
+    "cluster": Mode.CLUSTER,
+    "booster": Mode.BOOSTER,
+    "cb": Mode.CB,
+    "c+b": Mode.CB,
+}
+
+
+def normalize_mode(mode) -> Mode:
+    """Accept a Mode, its value, or a case-insensitive alias ('cb')."""
+    if isinstance(mode, Mode):
+        return mode
+    try:
+        return Mode(mode)
+    except ValueError:
+        pass
+    key = str(mode).strip().lower()
+    if key in _MODE_ALIASES:
+        return _MODE_ALIASES[key]
+    raise ValueError(
+        f"unknown mode {mode!r} (expected one of "
+        f"{[m.value for m in Mode]} or {sorted(_MODE_ALIASES)})"
+    )
+
+
+def preset_machine(
+    preset: str = "deep-er", sim: Optional[Simulator] = None, **overrides
+) -> Machine:
+    """Build a machine preset through the spec path (the one place
+    machine/topology construction is wired up)."""
+    return ExperimentSpec(
+        preset=preset, machine_overrides=overrides
+    ).build_machine(sim=sim)
+
+
+def _config_to_dict(cfg: Optional[XpicConfig]) -> Optional[dict]:
+    return None if cfg is None else dataclasses.asdict(cfg)
+
+
+def _config_from_dict(d: Optional[dict]) -> Optional[XpicConfig]:
+    if d is None:
+        return None
+    d = dict(d)
+    species = tuple(
+        SpeciesConfig(**{**s, "drift_velocity": tuple(s["drift_velocity"])})
+        for s in d.pop("species", [])
+    )
+    if species:
+        d["species"] = species
+    return XpicConfig(**d)
+
+
+@dataclass
+class ExperimentSpec:
+    """Declarative description of one experiment run.
+
+    ``preset`` names a machine preset (see :data:`MACHINE_PRESETS`);
+    ``machine_overrides`` tweaks its builder (e.g. ``cluster_nodes=2``).
+    ``app`` selects the driver ('xpic' or 'seismic'); ``mode`` is the
+    placement: Cluster / Booster / C+B for xPic, Cluster / Booster /
+    Split for seismic.  ``config`` optionally replaces the default
+    Table II :class:`XpicConfig` (its ``steps`` then wins over
+    ``steps``).  ``trace`` records per-phase intervals into a
+    :class:`~repro.sim.Tracer` (slightly slower, much more visible).
+    """
+
+    preset: str = "deep-er"
+    app: str = "xpic"
+    mode: str = "C+B"
+    steps: int = 100
+    nodes_per_solver: int = 1
+    overlap: bool = True
+    swap_placement: bool = False
+    load_balanced: bool = False
+    imbalance_alpha: Optional[float] = None
+    seed: int = 20180521
+    trace: bool = False
+    machine_overrides: Dict[str, Any] = field(default_factory=dict)
+    config: Optional[XpicConfig] = None
+
+    def __post_init__(self):
+        if self.preset not in MACHINE_PRESETS:
+            raise ValueError(
+                f"unknown preset {self.preset!r} "
+                f"(available: {sorted(MACHINE_PRESETS)})"
+            )
+        if self.app not in ("xpic", "seismic"):
+            raise ValueError(f"unknown app {self.app!r}")
+        if self.steps < 0:
+            raise ValueError("steps cannot be negative")
+        if self.nodes_per_solver < 1:
+            raise ValueError("need at least one node per solver")
+        # normalize early so bad modes fail at spec construction
+        if self.app == "xpic":
+            self.mode = normalize_mode(self.mode).value
+        else:
+            self.mode = SeismicPlacement(
+                str(self.mode).strip().capitalize()
+            ).value
+
+    # -- machine construction ---------------------------------------------
+    def build_machine(self, sim: Optional[Simulator] = None) -> Machine:
+        """Instantiate this spec's machine preset."""
+        builder = MACHINE_PRESETS[self.preset]
+        return builder(sim=sim, **self.machine_overrides)
+
+    # -- (de)serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (inverse of :meth:`from_dict`)."""
+        d = dataclasses.asdict(self)
+        d["config"] = _config_to_dict(self.config)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        d = dict(d)
+        d["config"] = _config_from_dict(d.get("config"))
+        d["machine_overrides"] = dict(d.get("machine_overrides") or {})
+        return cls(**d)
+
+
+@dataclass
+class RunReport:
+    """Structured outcome of one engine run: result + cross-layer metrics.
+
+    JSON-stable keys; all times in **seconds**.  ``run_result`` and
+    ``tracer`` hold the in-memory app objects for the session that ran
+    the experiment and are not serialized.
+    """
+
+    spec: dict
+    result: dict
+    sim: dict
+    network: dict
+    mpi: dict
+    phases: dict
+    intervals: list = field(default_factory=list)
+    schema: str = REPORT_SCHEMA
+    run_result: Any = field(default=None, repr=False, compare=False)
+    tracer: Any = field(default=None, repr=False, compare=False)
+
+    # -- convenience accessors ---------------------------------------------
+    @property
+    def total_runtime(self) -> float:
+        """Total simulated runtime of the app in seconds."""
+        return self.result.get("total_runtime", 0.0)
+
+    @property
+    def fields_time(self) -> float:
+        """Critical-path field-solver time (xPic runs)."""
+        return self.result.get("fields_time", 0.0)
+
+    @property
+    def particles_time(self) -> float:
+        """Critical-path particle-solver time (xPic runs)."""
+        return self.result.get("particles_time", 0.0)
+
+    @property
+    def comm_overhead_fraction(self) -> float:
+        """Inter-module communication overhead relative to total time."""
+        return self.result.get("comm_overhead_fraction", 0.0)
+
+    def comm_stats(self, name: str) -> dict:
+        """Traffic of one communicator by name (empty dict if absent)."""
+        return self.mpi.get("communicators", {}).get(name, {})
+
+    # -- JSON round trip ----------------------------------------------------
+    def to_dict(self) -> dict:
+        """The serialized form: schema tag + the six metric sections."""
+        return {
+            "schema": self.schema,
+            "spec": self.spec,
+            "result": self.result,
+            "sim": self.sim,
+            "network": self.network,
+            "mpi": self.mpi,
+            "phases": self.phases,
+            "intervals": self.intervals,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to JSON with stable key order."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        try:
+            return cls(
+                spec=d["spec"],
+                result=d["result"],
+                sim=d["sim"],
+                network=d["network"],
+                mpi=d["mpi"],
+                phases=d["phases"],
+                intervals=list(d.get("intervals", [])),
+                schema=d.get("schema", REPORT_SCHEMA),
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"not a {REPORT_SCHEMA} document (missing key {exc})"
+            ) from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the report as JSON."""
+        Path(path).write_text(self.to_json(indent=2))
+
+    @classmethod
+    def load(cls, path) -> "RunReport":
+        return cls.from_json(Path(path).read_text())
+
+    # -- Chrome trace export -------------------------------------------------
+    def to_chrome_trace(self) -> list:
+        """Chrome trace-event JSON objects (chrome://tracing, Perfetto).
+
+        Traced phase intervals become duration ('X') events, one
+        process per actor; per-link byte counters are appended as
+        counter ('C') events so fabric hot spots show up next to the
+        timeline.  Valid (if sparser) without tracing enabled.
+        """
+        actors = []
+        for iv in self.intervals:
+            if iv["actor"] not in actors:
+                actors.append(iv["actor"])
+        pid = {a: i for i, a in enumerate(actors)}
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid[a],
+                "args": {"name": a},
+            }
+            for a in actors
+        ]
+        for iv in self.intervals:
+            events.append(
+                {
+                    "name": iv["label"],
+                    "cat": "phase",
+                    "ph": "X",
+                    "pid": pid[iv["actor"]],
+                    "tid": 0,
+                    "ts": iv["start"] * 1e6,
+                    "dur": (iv["end"] - iv["start"]) * 1e6,
+                }
+            )
+        net_pid = len(actors)
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": net_pid,
+                "args": {"name": "fabric"},
+            }
+        )
+        end_ts = self.total_runtime * 1e6
+        for link_name, m in sorted(self.network.get("links", {}).items()):
+            events.append(
+                {
+                    "name": f"bytes {link_name}",
+                    "ph": "C",
+                    "pid": net_pid,
+                    "ts": end_ts,
+                    "args": {"bytes": m["bytes"], "messages": m["messages"]},
+                }
+            )
+        return events
+
+    def save_chrome_trace(self, path) -> None:
+        """Write the Chrome trace to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_chrome_trace()))
+
+
+class Engine:
+    """Builds the simulated stack for a spec, runs it, reports metrics."""
+
+    def build_machine(self, spec: ExperimentSpec) -> Machine:
+        """The machine a spec describes (preset + overrides), unrun."""
+        return spec.build_machine()
+
+    def run(self, spec: ExperimentSpec) -> RunReport:
+        """Execute one experiment end to end and return its RunReport."""
+        t0 = time.perf_counter()  # wall-clock-ok: host-side telemetry only
+        machine = spec.build_machine()
+        runtime = MPIRuntime(machine)
+        tracer = Tracer() if spec.trace else None
+        if tracer is not None:
+            machine.fabric.tracer = tracer
+        hub = MetricsHub(
+            sim=machine.sim,
+            fabric=machine.fabric,
+            runtime=runtime,
+            tracer=tracer,
+        )
+
+        if spec.app == "xpic":
+            result_obj, result = self._run_xpic(spec, machine, runtime, tracer)
+        else:
+            result_obj, result = self._run_seismic(spec, machine, runtime)
+
+        metrics = hub.snapshot()
+        metrics["sim"]["host_wall_s"] = time.perf_counter() - t0  # wall-clock-ok: host-side telemetry only
+        intervals = (
+            [
+                {
+                    "actor": iv.actor,
+                    "label": iv.label,
+                    "start": iv.start,
+                    "end": iv.end,
+                }
+                for iv in tracer.intervals
+            ]
+            if tracer is not None
+            else []
+        )
+        return RunReport(
+            spec=spec.to_dict(),
+            result=result,
+            sim=metrics["sim"],
+            network=metrics["network"],
+            mpi=metrics["mpi"],
+            phases=metrics["phases"],
+            intervals=intervals,
+            run_result=result_obj,
+            tracer=tracer,
+        )
+
+    # -- app drivers --------------------------------------------------------
+    def _run_xpic(self, spec, machine, runtime, tracer):
+        cfg = spec.config
+        if cfg is None:
+            cfg = table2_setup(steps=spec.steps)
+            if spec.seed != cfg.seed:
+                cfg = dataclasses.replace(cfg, seed=spec.seed)
+        rr = run_experiment(
+            machine,
+            normalize_mode(spec.mode),
+            cfg,
+            nodes_per_solver=spec.nodes_per_solver,
+            overlap=spec.overlap,
+            swap_placement=spec.swap_placement,
+            tracer=tracer,
+            load_balanced=spec.load_balanced,
+            imbalance_alpha=spec.imbalance_alpha,
+            runtime=runtime,
+        )
+        result = {
+            "app": "xpic",
+            "mode": rr.mode.value,
+            "nodes_per_solver": rr.nodes_per_solver,
+            "steps": rr.steps,
+            "total_runtime": rr.total_runtime,
+            "fields_time": rr.fields_time,
+            "particles_time": rr.particles_time,
+            "inter_module_comm_time": rr.inter_module_comm_time,
+            "comm_overhead_fraction": rr.comm_overhead_fraction,
+        }
+        return rr, result
+
+    def _run_seismic(self, spec, machine, runtime):
+        sr = run_seismic(
+            machine,
+            SeismicPlacement(spec.mode),
+            steps=spec.steps,
+            nodes=spec.nodes_per_solver,
+            runtime=runtime,
+        )
+        result = {
+            "app": "seismic",
+            "mode": sr.placement.value,
+            "nodes_per_solver": sr.nodes,
+            "steps": sr.steps,
+            "total_runtime": sr.total_runtime,
+            "inter_module_comm_time": sr.comm_time,
+            "comm_overhead_fraction": sr.comm_fraction,
+        }
+        return sr, result

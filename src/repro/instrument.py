@@ -1,0 +1,98 @@
+"""Cross-layer instrumentation hub.
+
+One :class:`MetricsHub` observes every layer of a run — simulator,
+fabric, MPI runtime, and the app-level :class:`~repro.sim.Tracer` — and
+produces a single nested metrics snapshot.  Collection is pull-based:
+the layers maintain cheap counters on their own hot paths (events
+processed, per-link bytes/messages/stall time, per-context traffic) and
+the hub reads them after the run, so enabling instrumentation costs
+nothing per event.
+
+This is the observability spine the engine threads through a run, the
+way one launch/measure path (ParaStation + JUBE) serves every
+experiment on the real DEEP-ER prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["MetricsHub"]
+
+
+class MetricsHub:
+    """Collects per-layer metrics from an attached simulation stack."""
+
+    def __init__(self, sim=None, fabric=None, runtime=None, tracer=None):
+        self.sim = sim
+        self.fabric = fabric
+        self.runtime = runtime
+        self.tracer = tracer
+
+    def attach(self, sim=None, fabric=None, runtime=None, tracer=None) -> "MetricsHub":
+        """Attach (or replace) observed layers; returns self."""
+        if sim is not None:
+            self.sim = sim
+        if fabric is not None:
+            self.fabric = fabric
+        if runtime is not None:
+            self.runtime = runtime
+        if tracer is not None:
+            self.tracer = tracer
+        return self
+
+    # -- per-layer snapshots ----------------------------------------------
+    def sim_metrics(self) -> dict:
+        """Simulator counters: event volume, queue depth, host time."""
+        if self.sim is None:
+            return {}
+        wall = self.sim.wall_time_s
+        return {
+            "events_processed": self.sim.events_processed,
+            "fast_wakeups": self.sim.fast_wakeups,
+            "peak_queue_depth": self.sim.peak_queue_depth,
+            "wall_time_s": wall,
+            "events_per_sec": (
+                self.sim.events_processed / wall if wall > 0 else 0.0
+            ),
+            "sim_time_s": self.sim.now,
+        }
+
+    def network_metrics(self) -> dict:
+        """Fabric totals plus per-link bytes, messages, and stall time."""
+        if self.fabric is None:
+            return {}
+        links = {}
+        for link in self.fabric.topology.links:
+            if link.messages_carried or link.bytes_carried:
+                links[f"{link.key[0]}<->{link.key[1]}"] = link.metrics()
+        return {
+            "total_bytes": self.fabric.bytes_transferred,
+            "total_messages": self.fabric.messages_transferred,
+            "links": links,
+        }
+
+    def mpi_metrics(self) -> dict:
+        """Per-communicator point-to-point and collective traffic."""
+        if self.runtime is None:
+            return {}
+        return {"communicators": self.runtime.comm_traffic()}
+
+    def phase_metrics(self) -> dict:
+        """Per-actor busy time by label, from the app-level tracer."""
+        if self.tracer is None:
+            return {}
+        out: dict = {}
+        for iv in self.tracer.intervals:
+            actor = out.setdefault(iv.actor, {})
+            actor[iv.label] = actor.get(iv.label, 0.0) + iv.duration
+        return out
+
+    def snapshot(self) -> dict:
+        """One nested dict with every layer's metrics."""
+        return {
+            "sim": self.sim_metrics(),
+            "network": self.network_metrics(),
+            "mpi": self.mpi_metrics(),
+            "phases": self.phase_metrics(),
+        }

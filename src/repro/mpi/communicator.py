@@ -664,6 +664,9 @@ class Comm:
         yield from self.barrier()
         if self._rank == 0:
             inter_ctx = (self.runtime.next_context(), self.runtime.next_context())
+            inter_name = f"{self.group.name}<->{name}"
+            self.runtime.register_context(inter_ctx[0], inter_name, "p2p")
+            self.runtime.register_context(inter_ctx[1], inter_name, "coll")
             child_group_holder = {}
 
             def parent_maker(child_group: GroupState, child_rank: int) -> Comm:

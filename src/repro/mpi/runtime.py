@@ -67,6 +67,8 @@ class GroupState:
         self.name = name
         self.context_pt2pt = runtime.next_context()
         self.context_coll = runtime.next_context()
+        runtime.register_context(self.context_pt2pt, name, "p2p")
+        runtime.register_context(self.context_coll, name, "coll")
         # Rendezvous area for collectively-created objects (spawn):
         # op sequence number -> created object.
         self.spawn_results: dict = {}
@@ -125,10 +127,14 @@ class RankContext:
         return self.world.rank
 
     def compute(self, seconds: float):
-        """An event representing ``seconds`` of local computation."""
+        """``seconds`` of local computation, to be yielded by the rank.
+
+        Returns the validated delay itself: yielding a bare number takes
+        the simulator's allocation-free timeout fast path.
+        """
         if seconds < 0:
             raise ValueError("negative compute time")
-        return self.sim.timeout(seconds)
+        return seconds
 
     def execute(self, kernel, threads: Optional[int] = None) -> Generator:
         """Run a perf-model kernel on this rank's node (simulated time).
@@ -138,7 +144,7 @@ class RankContext:
         from ..perfmodel import time_on_node  # late import: avoid cycle
 
         duration = time_on_node(self.node, kernel, threads=threads)
-        yield self.sim.timeout(duration)
+        yield duration
         return duration
 
     def get_parent(self) -> Optional["Comm"]:  # noqa: F821
@@ -157,10 +163,40 @@ class MPIRuntime:
         self._context_counter = itertools.count(1)
         #: per-context traffic accounting: context_id -> [messages, bytes]
         self.traffic: dict = {}
+        #: context id -> (communicator name, "p2p" | "coll"), so traffic
+        #: can be reported per communicator instead of per opaque id
+        self.contexts: dict = {}
 
     def next_context(self) -> int:
         """Allocate a fresh MPI context id."""
         return next(self._context_counter)
+
+    def register_context(self, context_id: int, comm_name: str, kind: str) -> None:
+        """Label a context id for per-communicator traffic reporting."""
+        self.contexts[context_id] = (comm_name, kind)
+
+    def comm_traffic(self) -> dict:
+        """Traffic aggregated per communicator name.
+
+        Returns ``{name: {p2p_messages, p2p_bytes, coll_messages,
+        coll_bytes}}``; unregistered contexts appear as ``ctx<N>``.
+        """
+        out: dict = {}
+        for ctx_id, (messages, nbytes) in sorted(self.traffic.items()):
+            name, kind = self.contexts.get(ctx_id, (f"ctx{ctx_id}", "p2p"))
+            stats = out.setdefault(
+                name,
+                {
+                    "p2p_messages": 0,
+                    "p2p_bytes": 0,
+                    "coll_messages": 0,
+                    "coll_bytes": 0,
+                },
+            )
+            prefix = "coll" if kind == "coll" else "p2p"
+            stats[f"{prefix}_messages"] += messages
+            stats[f"{prefix}_bytes"] += nbytes
+        return out
 
     # -- transport ---------------------------------------------------------
     def transmit(

@@ -173,7 +173,7 @@ class Fabric:
             # bounded with negligible latency.
             node = self._nodes[src]
             bw = node.memory.peak_bandwidth if node.memory else 50e9
-            yield self.sim.timeout(200e-9 + nbytes / bw)
+            yield 200e-9 + nbytes / bw
             self.messages_transferred += 1
             return
 
@@ -184,15 +184,18 @@ class Fabric:
         requests = []
         for link, forward in directed:
             resource = link.resource_for(forward)
+            t_wait = self.sim.now
             req = resource.request()
             yield req
+            link.stall_time_s += self.sim.now - t_wait
             requests.append((resource, req))
         t0 = self.sim.now
         links = [link for link, _fwd in directed]
         try:
-            yield self.sim.timeout(duration)
+            yield duration
             for link in links:
                 link.bytes_carried += nbytes
+                link.messages_carried += 1
         finally:
             for resource, req in requests:
                 resource.release(req)

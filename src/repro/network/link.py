@@ -51,6 +51,18 @@ class Link:
             False: Resource(sim, capacity=spec.channels),  # v -> u
         }
         self.bytes_carried = 0
+        self.messages_carried = 0
+        #: cumulative time transfers spent queueing for this link's
+        #: channels (contention stall, both directions)
+        self.stall_time_s = 0.0
+
+    def metrics(self) -> dict:
+        """Counter snapshot for the instrumentation hub."""
+        return {
+            "bytes": self.bytes_carried,
+            "messages": self.messages_carried,
+            "stall_time_s": self.stall_time_s,
+        }
 
     def resource_for(self, forward: bool) -> Resource:
         """The direction's channel pool (forward = u -> v)."""

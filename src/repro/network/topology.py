@@ -92,6 +92,11 @@ class Topology:
         return nx.is_connected(self.graph)
 
     @property
+    def links(self):
+        """All link objects of the fabric (including failed ones)."""
+        return list(self._links.values())
+
+    @property
     def endpoints(self):
         """All node (non-switch) vertices."""
         return [n for n, d in self.graph.nodes(data=True) if d.get("kind") == "node"]

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Generator, Optional
 
-from .events import Event, Timeout
+from .events import WAKE_OK, Event, Timeout, _Wakeup
 from .process import Process
 
 __all__ = ["Simulator", "StopSimulation"]
@@ -40,6 +41,12 @@ class Simulator:
         self._seq = 0  # tie-breaker: FIFO among simultaneous events
         self._active_process: Optional[Process] = None
         self.events_processed = 0
+        #: events that took the allocation-free timeout fast path
+        self.fast_wakeups = 0
+        #: high-water mark of the event queue
+        self.peak_queue_depth = 0
+        #: accumulated real (host) time spent inside :meth:`run`
+        self.wall_time_s = 0.0
 
     # -- clock -------------------------------------------------------------
     @property
@@ -54,15 +61,43 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        q = self._queue
+        heapq.heappush(q, (self._now + delay, self._seq, event))
+        if len(q) > self.peak_queue_depth:
+            self.peak_queue_depth = len(q)
+
+    def _schedule_wakeup(self, process: Process, delay: float) -> None:
+        """Timeout fast path: resume ``process`` after ``delay`` without
+        allocating an Event (used when a process yields a bare number).
+
+        The per-process :class:`_Wakeup` is reused between waits; a
+        fresh one is only allocated if the old one is still queued
+        (i.e. was cancelled by an interrupt and not yet popped).
+        """
+        wakeup = process._wakeup
+        if wakeup is None or wakeup.pending:
+            wakeup = _Wakeup(process)
+            process._wakeup = wakeup
+        wakeup.pending = True
+        wakeup.cancelled = False
+        self._seq += 1
+        q = self._queue
+        heapq.heappush(q, (self._now + delay, self._seq, wakeup))
+        if len(q) > self.peak_queue_depth:
+            self.peak_queue_depth = len(q)
 
     def schedule_at(self, event: Event, when: float) -> None:
         """Schedule a *triggered* event at absolute time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
         self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, event))
+        q = self._queue
+        heapq.heappush(q, (when, self._seq, event))
+        if len(q) > self.peak_queue_depth:
+            self.peak_queue_depth = len(q)
 
     # -- factories ---------------------------------------------------------
     def event(self) -> Event:
@@ -91,6 +126,13 @@ class Simulator:
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
         self.events_processed += 1
+        if event.__class__ is _Wakeup:
+            # timeout fast path: resume the process directly
+            event.pending = False
+            if not event.cancelled:
+                self.fast_wakeups += 1
+                event.process._resume(WAKE_OK)
+            return
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
         for cb in callbacks:
@@ -109,11 +151,14 @@ class Simulator:
             stopper._value = None
             stopper.callbacks.append(self._raise_stop)
             self.schedule_at(stopper, until)
+        t0 = time.perf_counter()  # wall-clock-ok: host-side telemetry only
         try:
             while self._queue:
                 self.step()
         except StopSimulation:
             pass
+        finally:
+            self.wall_time_s += time.perf_counter() - t0  # wall-clock-ok: host-side telemetry only
 
     def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
         """Convenience: start ``generator`` as a process, run, return its value."""

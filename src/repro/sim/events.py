@@ -22,6 +22,37 @@ __all__ = [
 ]
 
 
+class _Wakeup:
+    """Pooled heap entry for the timeout fast path.
+
+    When a process yields a bare number (seconds of delay), the
+    simulator schedules one of these instead of a full :class:`Timeout`:
+    no callback list, no value, and the object is reused across yields,
+    so the hot loop allocates nothing after a process's first wait.
+    A cancelled wakeup (its process was interrupted away) stays in the
+    queue and is discarded when popped.
+    """
+
+    __slots__ = ("process", "pending", "cancelled")
+
+    def __init__(self, process):
+        self.process = process
+        self.pending = False
+        self.cancelled = False
+
+
+class _WakeValue:
+    """Immortal 'succeeded with None' stand-in fed to ``Process._resume``
+    when a fast-path wakeup fires (never enters the queue itself)."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+WAKE_OK = _WakeValue()
+
+
 class _PendingType:
     """Sentinel for an event value that has not been set yet."""
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from .events import PENDING, Event, Interrupt
+from .events import PENDING, Event, Interrupt, _Wakeup
 
 __all__ = ["Process"]
 
@@ -17,9 +17,14 @@ class Process(Event):
     exception is thrown into it).  The process is itself an event that
     succeeds with the generator's ``return`` value, so processes can be
     joined by yielding them.
+
+    As a fast path, a generator may also yield a bare non-negative
+    number: it suspends for that many seconds, exactly like yielding
+    ``sim.timeout(n)`` but without allocating an event (the simulator
+    reuses one pooled wakeup entry per process).
     """
 
-    __slots__ = ("generator", "_target")
+    __slots__ = ("generator", "_target", "_wakeup")
 
     def __init__(self, sim: "Simulator", generator: Generator):  # noqa: F821
         if not hasattr(generator, "send"):
@@ -30,6 +35,7 @@ class Process(Event):
         super().__init__(sim)
         self.generator = generator
         self._target: Event = None
+        self._wakeup: _Wakeup = None
         # Kick off the process at the current simulation time.
         init = Event(sim)
         init._ok = True
@@ -54,7 +60,10 @@ class Process(Event):
             raise RuntimeError("a process cannot interrupt itself")
         # Detach from the event we were waiting on, then resume with failure.
         target = self._target
-        if target is not None and not target.processed:
+        if type(target) is _Wakeup:
+            # fast-path wait: leave the queued entry to be discarded
+            target.cancelled = True
+        elif target is not None and not target.processed:
             try:
                 target.callbacks.remove(self._resume)
             except ValueError:
@@ -88,6 +97,20 @@ class Process(Event):
                     self.fail(exc)
                     break
 
+                cls = type(target)
+                if cls is float or cls is int:
+                    # Fast path: a bare number is a timeout of that many
+                    # seconds, scheduled without allocating an Event.
+                    if target < 0:
+                        exc = ValueError(f"negative delay {target}")
+                        event = Event(self.sim)
+                        event._ok = False
+                        event._value = exc
+                        event._defused = True
+                        continue
+                    self.sim._schedule_wakeup(self, target)
+                    self._target = self._wakeup
+                    break
                 if not isinstance(target, Event):
                     exc = TypeError(
                         f"process yielded a non-event: {target!r}"

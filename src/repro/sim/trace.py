@@ -105,9 +105,15 @@ class Tracer:
             # prefer the label's initial when unique
             cand = label[0].upper()
             if cand in glyphs.values():
-                cand = palette[i % len(palette)]
-            while cand in glyphs.values():
-                cand = palette[(i + 7) % len(palette)]
+                # probe the whole palette once; with more labels than
+                # glyphs, fall back to reusing one deterministically
+                for j in range(len(palette)):
+                    probe = palette[(i + j) % len(palette)]
+                    if probe not in glyphs.values():
+                        cand = probe
+                        break
+                else:
+                    cand = palette[i % len(palette)]
             glyphs[label] = cand
 
         scale = width / (t1 - t0)

@@ -13,9 +13,16 @@ from typing import Callable, List, Optional
 
 from .apps.xpic import Mode
 from .bench import run_fig7, run_fig8
-from .hardware import build_deep_er_prototype, presets
+from .engine import Engine, ExperimentSpec
 
 __all__ = ["Claim", "validate_claims", "render_claims"]
+
+
+def _machine(**overrides):
+    """A DEEP-ER prototype machine built through the engine preset."""
+    return Engine().build_machine(
+        ExperimentSpec(machine_overrides=overrides)
+    )
 
 
 @dataclass
@@ -45,7 +52,7 @@ def validate_claims(steps: int = 200) -> List[Claim]:
     """Run the evaluation and grade every claim.  Returns the list of
     claims with pass/fail; deterministic."""
     claims: List[Claim] = []
-    machine = build_deep_er_prototype()
+    machine = _machine()
     fab = machine.fabric
 
     # --- Table I / Fig 3 -------------------------------------------------
@@ -259,7 +266,7 @@ def _stack_claims() -> List[Claim]:
     claims: List[Claim] = []
 
     # SIONlib aggregation (section III-C)
-    machine = build_deep_er_prototype()
+    machine = _machine()
     fs = BeeGFS(machine)
     clients = (machine.cluster + machine.booster)[:16]
 
@@ -293,7 +300,7 @@ def _stack_claims() -> List[Claim]:
 
     # BeeOND async cache (section III-C)
     def cache_time(mode):
-        m = build_deep_er_prototype()
+        m = _machine()
         cache = BeeondCache(BeeGFS(m), mode=mode)
         client = m.cluster[0]
 
@@ -320,7 +327,7 @@ def _stack_claims() -> List[Claim]:
     # Modular scheduling throughput (section II-A)
     def makespan(accelerated):
         sim = Simulator()
-        m = build_deep_er_prototype()
+        m = _machine()
         cls = AcceleratedNodeAllocator if accelerated else ModularAllocator
         sched = BatchScheduler(sim, cls(m.cluster, m.booster))
         sched.submit_all(mixed_center_workload(40, seed=3))
@@ -341,7 +348,7 @@ def _stack_claims() -> List[Claim]:
 
     # Energy efficiency motivation (section I)
     pm = PowerModel()
-    m = build_deep_er_prototype(cluster_nodes=2, booster_nodes=2)
+    m = _machine(cluster_nodes=2, booster_nodes=2)
     claims.append(
         Claim(
             "S1-energy",

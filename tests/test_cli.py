@@ -49,3 +49,51 @@ def test_report_command(capsys):
     out = capsys.readouterr().out
     assert "# Benchmark results" in out
     assert "table1" in out and "fig7" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "--mode", "cb", "--steps", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Run report" in out
+    assert "xpic / C+B" in out
+    assert "Per-link traffic" in out
+    assert "Per-communicator traffic" in out
+    assert "world<->xpic-field-solver" in out
+
+
+def test_run_command_writes_artifacts(tmp_path, capsys):
+    import json
+
+    json_path = tmp_path / "r.json"
+    trace_path = tmp_path / "r.trace.json"
+    assert (
+        main(
+            [
+                "run", "--mode", "cb", "--steps", "3",
+                "--json", str(json_path),
+                "--chrome-trace", str(trace_path),
+            ]
+        )
+        == 0
+    )
+    report = json.loads(json_path.read_text())
+    assert report["schema"] == "repro.run_report/1"
+    assert report["network"]["total_bytes"] > 0
+    trace = json.loads(trace_path.read_text())
+    assert any(e["ph"] == "X" for e in trace)  # --chrome-trace implies --trace
+    capsys.readouterr()
+
+
+def test_run_command_seismic(capsys):
+    assert main(["run", "--app", "seismic", "--mode", "split", "--steps", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "seismic / Split" in out
+
+
+def test_report_command_renders_saved_run(tmp_path, capsys):
+    json_path = tmp_path / "r.json"
+    assert main(["run", "--steps", "3", "--json", str(json_path)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Run report" in out and "total runtime" in out

@@ -280,11 +280,114 @@ def test_yield_non_event_raises_inside_process():
 
     def proc(sim):
         try:
-            yield 42
+            yield "not an event"
         except TypeError as e:
             return "caught"
 
     assert sim.run_process(proc(sim)) == "caught"
+
+
+def test_yield_bare_number_is_fast_timeout():
+    sim = Simulator()
+
+    def proc(sim):
+        yield 1.5
+        yield 1  # ints work too
+        return sim.now
+
+    assert sim.run_process(proc(sim)) == 2.5
+    assert sim.fast_wakeups == 2
+
+
+def test_yield_negative_number_raises_inside_process():
+    sim = Simulator()
+
+    def proc(sim):
+        try:
+            yield -0.5
+        except ValueError:
+            return "caught"
+
+    assert sim.run_process(proc(sim)) == "caught"
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    ev = Event(sim)
+    with pytest.raises(ValueError):
+        ev.succeed(delay=-1.0)
+
+
+def test_fast_wakeup_reused_not_reallocated():
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(5):
+            yield 0.1
+
+    p = sim.process(proc(sim))
+    sim.run()
+    # one pooled wakeup object served every wait
+    assert p._wakeup is not None
+    assert not p._wakeup.pending
+    assert sim.fast_wakeups == 5
+
+
+def test_interrupt_during_fast_wait():
+    sim = Simulator()
+
+    def sleeper(sim):
+        try:
+            yield 10.0
+        except Interrupt as i:
+            return ("interrupted", sim.now, i.cause)
+
+    def interrupter(sim, victim):
+        yield 1.0
+        victim.interrupt("boom")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert victim.value == ("interrupted", 1.0, "boom")
+
+
+def test_fast_wait_after_cancelled_wakeup():
+    sim = Simulator()
+
+    def sleeper(sim):
+        try:
+            yield 10.0
+        except Interrupt:
+            pass
+        # the cancelled wakeup is still queued; this wait must not
+        # collide with it
+        yield 0.5
+        return sim.now
+
+    def interrupter(sim, victim):
+        yield 1.0
+        victim.interrupt()
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert victim.value == 1.5
+
+
+def test_run_records_wall_time_and_queue_depth():
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(3):
+            yield sim.timeout(1.0)
+
+    for _ in range(4):
+        sim.process(proc(sim))
+    sim.run()
+    assert sim.wall_time_s > 0.0
+    assert sim.peak_queue_depth >= 4
+    assert sim.events_processed > 0
 
 
 def test_peek_reports_next_event_time():

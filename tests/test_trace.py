@@ -78,6 +78,33 @@ def test_gantt_distinct_glyphs_for_colliding_labels():
     assert len(inv) == len(glyphs)
 
 
+def test_gantt_glyph_palette_exhaustion_terminates():
+    # regression: with more unique labels than palette glyphs the
+    # assignment loop used to spin forever looking for a free glyph;
+    # it must fall back to reusing glyphs and terminate
+    tr = Tracer()
+    for i in range(40):
+        tr.record("a", f"label{i:02d}", float(i), float(i + 1))
+    out = tr.gantt(width=50)
+    legend = out.splitlines()[-1]
+    assert legend.startswith("legend:")
+    for i in range(40):
+        assert f"label{i:02d}" in legend
+
+
+def test_gantt_glyphs_unique_while_palette_lasts():
+    tr = Tracer()
+    for i in range(10):
+        tr.record("a", f"task{i}", float(i), float(i + 1))
+    legend = tr.gantt(width=40).splitlines()[-1]
+    glyphs = [
+        part.split("=")[0]
+        for part in legend.replace("legend: ", "").split()
+        if "=" in part
+    ]
+    assert len(set(glyphs)) == len(glyphs)
+
+
 def test_driver_tracing_produces_pipeline():
     tracer = Tracer()
     machine = build_deep_er_prototype()
@@ -111,3 +138,18 @@ def test_chrome_trace_export(tmp_path):
     path = tmp_path / "trace.json"
     tr.save_chrome_trace(path)
     assert json.loads(path.read_text()) == events
+
+
+def test_chrome_trace_empty_tracer():
+    assert Tracer().to_chrome_trace() == []
+
+
+def test_chrome_trace_pid_stable_per_actor():
+    tr = Tracer()
+    tr.record("CN0", "fields", 0.0, 1.0)
+    tr.record("BN0", "particles", 0.0, 1.0)
+    tr.record("CN0", "io", 1.0, 2.0)
+    events = tr.to_chrome_trace()
+    spans = [e for e in events if e["ph"] == "X"]
+    cn_pids = {e["pid"] for e in spans if e["name"] in ("fields", "io")}
+    assert len(cn_pids) == 1
