@@ -5,27 +5,34 @@ allow to overlap with non critical operations" (section IV-B).  This
 bench disables the overlap and measures what it was worth.
 """
 
+import os
+
 from repro import Engine, ExperimentSpec
 from repro.bench import render_table
 
 STEPS = 200
 
+WORKERS = min(4, os.cpu_count() or 1)
 
-def run_pair(n):
-    engine = Engine()
-    with_overlap = engine.run(
-        ExperimentSpec(mode="C+B", steps=STEPS, nodes_per_solver=n, overlap=True)
-    ).run_result
-    without = engine.run(
-        ExperimentSpec(mode="C+B", steps=STEPS, nodes_per_solver=n, overlap=False)
-    ).run_result
-    return with_overlap, without
+
+def run_all():
+    """One run_many sweep over the (nodes, overlap) cross product."""
+    keys = [(n, overlap) for n in (1, 4, 8) for overlap in (True, False)]
+    sweep = Engine().run_many(
+        [
+            ExperimentSpec(
+                mode="C+B", steps=STEPS, nodes_per_solver=n, overlap=overlap
+            )
+            for n, overlap in keys
+        ],
+        workers=WORKERS,
+    )
+    views = dict(zip(keys, (r.result_view for r in sweep.reports)))
+    return {n: (views[(n, True)], views[(n, False)]) for n in (1, 4, 8)}
 
 
 def test_overlap_ablation(benchmark, report):
-    results = benchmark.pedantic(
-        lambda: {n: run_pair(n) for n in (1, 4, 8)}, rounds=1, iterations=1
-    )
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     rows = []
     for n, (w, wo) in results.items():
         rows.append(

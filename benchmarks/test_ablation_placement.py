@@ -6,26 +6,28 @@ hardware (section IV-C).  This bench swaps the placement to show the
 partition direction is what wins, not partitioning per se.
 """
 
+import os
+
 from repro import Engine, ExperimentSpec
 from repro.bench import render_table
 
 STEPS = 200
 
+WORKERS = min(4, os.cpu_count() or 1)
+
 
 def run_all():
-    engine = Engine()
-
-    def run(mode, **kw):
-        return engine.run(
-            ExperimentSpec(mode=mode, steps=STEPS, **kw)
-        ).run_result
-
-    return {
-        "C+B (paper placement)": run("C+B"),
-        "C+B (swapped placement)": run("C+B", swap_placement=True),
-        "Cluster only": run("Cluster"),
-        "Booster only": run("Booster"),
+    configs = {
+        "C+B (paper placement)": {"mode": "C+B"},
+        "C+B (swapped placement)": {"mode": "C+B", "swap_placement": True},
+        "Cluster only": {"mode": "Cluster"},
+        "Booster only": {"mode": "Booster"},
     }
+    sweep = Engine().run_many(
+        [ExperimentSpec(steps=STEPS, **kw) for kw in configs.values()],
+        workers=WORKERS,
+    )
+    return dict(zip(configs, (r.result_view for r in sweep.reports)))
 
 
 def test_placement_ablation(benchmark, report):

@@ -12,15 +12,20 @@ wins at 64 nodes per solver, but the regime is exactly what the
 DEEP-ER I/O stack (SIONlib) and larger problems exist to avoid.
 """
 
+import os
+
 import pytest
 
-from repro.apps.xpic import Mode, XpicConfig, run_experiment
+from repro.apps.xpic import Mode, XpicConfig
 from repro.bench import render_series
-from repro.hardware import build_jureca_like
+from repro.engine import Engine, ExperimentSpec
 from repro.perfmodel import parallel_efficiency
 
 STEPS = 60
 NODE_COUNTS = [1, 4, 8, 16, 32, 64]
+
+#: fan the 18 independent runs out when the host has the cores for it
+WORKERS = min(4, os.cpu_count() or 1)
 
 
 def projection_config():
@@ -30,14 +35,21 @@ def projection_config():
 
 def run_all():
     cfg = projection_config()
-    runs = {}
-    for mode in Mode:
-        for n in NODE_COUNTS:
-            machine = build_jureca_like()
-            runs[(mode, n)] = run_experiment(
-                machine, mode, cfg, nodes_per_solver=n
+    keys = [(mode, n) for mode in Mode for n in NODE_COUNTS]
+    sweep = Engine().run_many(
+        [
+            ExperimentSpec(
+                preset="jureca",
+                mode=mode.value,
+                steps=STEPS,
+                nodes_per_solver=n,
+                config=cfg,
             )
-    return runs
+            for mode, n in keys
+        ],
+        workers=WORKERS,
+    )
+    return {k: r.result_view for k, r in zip(keys, sweep.reports)}
 
 
 def test_projection_to_production_scale(benchmark, report):

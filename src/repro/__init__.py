@@ -22,7 +22,7 @@ the full stack the paper describes:
 
 __version__ = "1.1.0"
 
-from .engine import Engine, ExperimentSpec, RunReport
+from .engine import Engine, ExperimentSpec, RunReport, SweepReport
 from .hardware import Machine, build_deep_er_prototype
 from .instrument import MetricsHub
 from .sim import Simulator
@@ -34,6 +34,7 @@ __all__ = [
     "Engine",
     "ExperimentSpec",
     "RunReport",
+    "SweepReport",
     "MetricsHub",
     "__version__",
 ]

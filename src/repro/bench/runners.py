@@ -4,7 +4,9 @@ The Fig 7/8 runners are thin :class:`~repro.engine.ExperimentSpec`
 sweeps over the unified engine: every run goes down the same
 instrumented path, and the per-run :class:`~repro.engine.RunReport`
 (cross-layer metrics, Chrome-trace export) rides along next to the
-app-level timings the figures need.
+app-level timings the figures need.  Every runner takes ``workers`` and
+fans independent runs out over :meth:`~repro.engine.Engine.run_many`
+(results are bit-identical to a serial sweep).
 """
 
 from __future__ import annotations
@@ -101,15 +103,19 @@ class Fig8Result:
 
 
 def run_fig7(
-    steps: int = FIG78_STEPS, engine: Optional[Engine] = None
+    steps: int = FIG78_STEPS,
+    engine: Optional[Engine] = None,
+    workers: int = 1,
 ) -> Fig7Result:
     """Run the three single-node experiments of Fig 7."""
     engine = engine or Engine()
-    reports = {
-        mode: engine.run(experiment_spec(mode, steps)) for mode in Mode
-    }
+    modes = list(Mode)
+    sweep = engine.run_many(
+        [experiment_spec(mode, steps) for mode in modes], workers=workers
+    )
+    reports = dict(zip(modes, sweep.reports))
     return Fig7Result(
-        runs={m: r.run_result for m, r in reports.items()}, reports=reports
+        runs={m: r.result_view for m, r in reports.items()}, reports=reports
     )
 
 
@@ -117,17 +123,21 @@ def run_fig8(
     steps: int = FIG78_STEPS,
     node_counts: Tuple[int, ...] = (1, 2, 4, 8),
     engine: Optional[Engine] = None,
+    workers: int = 1,
 ) -> Fig8Result:
     """Run the full scaling sweep of Fig 8 (3 modes x node counts)."""
     engine = engine or Engine()
-    reports = {}
-    for mode in Mode:
-        for n in node_counts:
-            reports[(mode, n)] = engine.run(
-                experiment_spec(mode, steps, nodes_per_solver=n)
-            )
+    keys = [(mode, n) for mode in Mode for n in node_counts]
+    sweep = engine.run_many(
+        [
+            experiment_spec(mode, steps, nodes_per_solver=n)
+            for mode, n in keys
+        ],
+        workers=workers,
+    )
+    reports = dict(zip(keys, sweep.reports))
     return Fig8Result(
         node_counts=list(node_counts),
-        runs={k: r.run_result for k, r in reports.items()},
+        runs={k: r.result_view for k, r in reports.items()},
         reports=reports,
     )

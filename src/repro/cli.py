@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro run --mode cb --steps 100   # one instrumented run
+    python -m repro sweep --modes cluster,booster,cb --nodes 1,2,4,8 \
+        --workers 4                   # parallel sweep of independent runs
     python -m repro table1            # Table I from the machine model
     python -m repro fig3              # fabric bandwidth/latency curves
     python -m repro fig7 [--steps N]  # single-node mode comparison
@@ -18,7 +20,13 @@ import sys
 from typing import List, Optional
 
 from .apps.xpic import Mode
-from .engine import MACHINE_PRESETS, Engine, ExperimentSpec, RunReport
+from .engine import (
+    MACHINE_PRESETS,
+    Engine,
+    ExperimentSpec,
+    RunReport,
+    SweepReport,
+)
 from .bench import (
     FIG78_STEPS,
     fig3_series,
@@ -70,7 +78,7 @@ def cmd_fig3(_args) -> str:
 
 
 def cmd_fig7(args) -> str:
-    result = run_fig7(steps=args.steps)
+    result = run_fig7(steps=args.steps, workers=getattr(args, "workers", 1))
     rows = []
     for mode in Mode:
         r = result.runs[mode]
@@ -99,7 +107,7 @@ def cmd_fig7(args) -> str:
 
 
 def cmd_fig8(args) -> str:
-    result = run_fig8(steps=args.steps)
+    result = run_fig8(steps=args.steps, workers=getattr(args, "workers", 1))
     ns = result.node_counts
     out = [
         render_series(
@@ -212,7 +220,66 @@ def cmd_run(args) -> str:
 def cmd_validate(args) -> str:
     from .validate import render_claims, validate_claims
 
-    return render_claims(validate_claims(steps=args.steps))
+    return render_claims(
+        validate_claims(steps=args.steps, workers=getattr(args, "workers", 1))
+    )
+
+
+def cmd_sweep(args) -> str:
+    """Run a cross product of modes x node counts through run_many."""
+    try:
+        modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+        nodes = [int(n) for n in args.nodes.split(",") if n.strip()]
+    except ValueError as exc:
+        raise ValueError(f"bad sweep axis: {exc}") from None
+    if not modes or not nodes:
+        raise ValueError("sweep needs at least one mode and one node count")
+    keys = [(mode, n) for mode in modes for n in nodes]
+    specs = [
+        ExperimentSpec(
+            preset=args.preset,
+            app=args.app,
+            mode=mode,
+            steps=args.steps,
+            nodes_per_solver=n,
+            seed=args.seed,
+        )
+        for mode, n in keys
+    ]
+    sweep = Engine().run_many(specs, workers=args.workers)
+    if args.json:
+        sweep.save(args.json)
+    rows = [
+        (
+            r.result.get("mode", mode),
+            str(n),
+            f"{r.total_runtime:.4f}",
+            f"{r.comm_overhead_fraction:.2%}",
+            str(r.sim.get("events_processed", 0)),
+        )
+        for (mode, n), r in zip(keys, sweep.reports)
+    ]
+    out = [
+        render_table(
+            ["Mode", "Nodes/solver", "Total [s]", "Comm overhead", "Events"],
+            rows,
+            title=(
+                f"Sweep: {args.app} on {args.preset}, {args.steps} steps "
+                f"({len(specs)} runs, {sweep.workers} worker"
+                f"{'s' if sweep.workers != 1 else ''})"
+            ),
+        )
+    ]
+    m = sweep.merged_metrics()
+    out.append(
+        f"\n{m['runs']} runs in {sweep.host_wall_s:.2f} s host wall-clock — "
+        f"{m['sim_events']:,} events, {m['network_messages']:,} messages "
+        f"({m['fast_transfers']:,} fast / {m['slow_transfers']:,} queued "
+        f"transfers), {m['network_bytes']:,} bytes on the fabric"
+    )
+    if args.json:
+        out.append(f"sweep report JSON written to {args.json}")
+    return "\n".join(out)
 
 
 def cmd_report(args) -> str:
@@ -336,6 +403,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write Chrome trace-event JSON (chrome://tracing, Perfetto)",
     )
+    sw = sub.add_parser(
+        "sweep",
+        help="run a modes x node-counts sweep through Engine.run_many",
+    )
+    sw.add_argument(
+        "--preset",
+        default="deep-er",
+        choices=sorted(MACHINE_PRESETS),
+        help="machine preset (default deep-er)",
+    )
+    sw.add_argument(
+        "--app",
+        default="xpic",
+        choices=["xpic", "seismic"],
+        help="application driver (default xpic)",
+    )
+    sw.add_argument(
+        "--modes",
+        default="cluster,booster,cb",
+        help="comma-separated placements (default cluster,booster,cb)",
+    )
+    sw.add_argument(
+        "--nodes",
+        default="1,2,4,8",
+        help="comma-separated nodes-per-solver counts (default 1,2,4,8)",
+    )
+    sw.add_argument("--steps", type=int, default=100, help="time steps")
+    sw.add_argument(
+        "--seed", type=int, default=20180521, help="workload RNG seed"
+    )
+    sw.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers (1 = serial; results are identical)",
+    )
+    sw.add_argument(
+        "--json", metavar="FILE", default=None, help="write SweepReport JSON"
+    )
     for name, hlp in (
         ("fig7", "Fig 7: single-node mode comparison"),
         ("fig8", "Fig 8: scaling sweep"),
@@ -349,6 +455,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=FIG78_STEPS,
             help=f"xPic time steps (default {FIG78_STEPS})",
         )
+        sp.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="process-pool workers for the underlying sweep",
+        )
     return p
 
 
@@ -357,6 +469,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "run": cmd_run,
+        "sweep": cmd_sweep,
         "table1": cmd_table1,
         "fig3": cmd_fig3,
         "fig7": cmd_fig7,

@@ -46,14 +46,19 @@ from .sim import Simulator, Tracer
 __all__ = [
     "ExperimentSpec",
     "RunReport",
+    "SweepReport",
     "Engine",
     "MACHINE_PRESETS",
     "REPORT_SCHEMA",
+    "SWEEP_SCHEMA",
     "preset_machine",
 ]
 
 #: schema tag of the RunReport JSON export (bump on breaking change)
 REPORT_SCHEMA = "repro.run_report/1"
+
+#: schema tag of the SweepReport JSON export
+SWEEP_SCHEMA = "repro.sweep_report/1"
 
 #: machine presets: name -> builder taking (sim=..., **overrides)
 MACHINE_PRESETS = {
@@ -183,6 +188,30 @@ class ExperimentSpec:
         return cls(**d)
 
 
+class _ResultView:
+    """Attribute view over a :class:`RunReport` result dict.
+
+    Stands in for the in-memory app result object (``RunResult`` /
+    ``SeismicResult``) when a report crossed a process boundary —
+    ``report.result_view.total_runtime`` works identically for serial
+    and pooled runs.
+    """
+
+    __slots__ = ("_d",)
+
+    def __init__(self, d: dict):
+        self._d = d
+
+    def __getattr__(self, name: str):
+        try:
+            return self._d[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultView {self._d.get('app')}/{self._d.get('mode')}>"
+
+
 @dataclass
 class RunReport:
     """Structured outcome of one engine run: result + cross-layer metrics.
@@ -227,6 +256,14 @@ class RunReport:
     def comm_stats(self, name: str) -> dict:
         """Traffic of one communicator by name (empty dict if absent)."""
         return self.mpi.get("communicators", {}).get(name, {})
+
+    @property
+    def result_view(self):
+        """The in-memory app result object when available (serial runs),
+        else an attribute view over :attr:`result` (pooled runs)."""
+        if self.run_result is not None:
+            return self.run_result
+        return _ResultView(self.result)
 
     # -- JSON round trip ----------------------------------------------------
     def to_dict(self) -> dict:
@@ -339,12 +376,162 @@ class RunReport:
         Path(path).write_text(json.dumps(self.to_chrome_trace()))
 
 
+@dataclass
+class SweepReport:
+    """Outcome of one :meth:`Engine.run_many` sweep.
+
+    ``reports`` preserves the order of the input specs regardless of
+    worker scheduling.  ``workers`` is the worker count actually used
+    (1 after a serial fallback); ``host_wall_s`` is the sweep's
+    end-to-end host wall-clock.
+    """
+
+    reports: list
+    workers: int = 1
+    host_wall_s: float = 0.0
+    schema: str = SWEEP_SCHEMA
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    @property
+    def results(self) -> list:
+        """The per-run result payloads, in spec order."""
+        return [r.result for r in self.reports]
+
+    def merged_metrics(self) -> dict:
+        """Cross-layer totals aggregated over every run of the sweep."""
+        merged = {
+            "runs": len(self.reports),
+            "sim_events": 0,
+            "fast_wakeups": 0,
+            "network_bytes": 0,
+            "network_messages": 0,
+            "fast_transfers": 0,
+            "slow_transfers": 0,
+            "sim_wall_s": 0.0,
+            "sim_time_s": 0.0,
+        }
+        for r in self.reports:
+            merged["sim_events"] += r.sim.get("events_processed", 0)
+            merged["fast_wakeups"] += r.sim.get("fast_wakeups", 0)
+            merged["sim_wall_s"] += r.sim.get("wall_time_s", 0.0)
+            merged["sim_time_s"] += r.sim.get("sim_time_s", 0.0)
+            merged["network_bytes"] += r.network.get("total_bytes", 0)
+            merged["network_messages"] += r.network.get("total_messages", 0)
+            merged["fast_transfers"] += r.network.get("fast_transfers", 0)
+            merged["slow_transfers"] += r.network.get("slow_transfers", 0)
+        return merged
+
+    # -- JSON round trip ----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (schema, merged totals, per-run reports)."""
+        return {
+            "schema": self.schema,
+            "workers": self.workers,
+            "host_wall_s": self.host_wall_s,
+            "merged": self.merged_metrics(),
+            "runs": [r.to_dict() for r in self.reports],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize :meth:`to_dict` with stable key order."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepReport":
+        try:
+            return cls(
+                reports=[RunReport.from_dict(r) for r in d["runs"]],
+                workers=d.get("workers", 1),
+                host_wall_s=d.get("host_wall_s", 0.0),
+                schema=d.get("schema", SWEEP_SCHEMA),
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"not a {SWEEP_SCHEMA} document (missing key {exc})"
+            ) from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the sweep report to ``path`` as indented JSON."""
+        Path(path).write_text(self.to_json(indent=2))
+
+    @classmethod
+    def load(cls, path) -> "SweepReport":
+        return cls.from_json(Path(path).read_text())
+
+
+def _run_spec_payload(spec_dict: dict) -> dict:
+    """Pool-worker entry point: run one spec (dict form), return the
+    report's dict form (both sides of the boundary are plain JSON-safe
+    dicts, so the payload pickles regardless of app internals)."""
+    report = Engine().run(ExperimentSpec.from_dict(spec_dict))
+    return report.to_dict()
+
+
 class Engine:
     """Builds the simulated stack for a spec, runs it, reports metrics."""
 
     def build_machine(self, spec: ExperimentSpec) -> Machine:
         """The machine a spec describes (preset + overrides), unrun."""
         return spec.build_machine()
+
+    def run_many(
+        self, specs, workers: int = 1, chunksize: int = 1
+    ) -> SweepReport:
+        """Run a sweep of independent specs, optionally in parallel.
+
+        ``workers > 1`` fans the runs out over a
+        ``concurrent.futures.ProcessPoolExecutor``; results come back in
+        **spec order** regardless of completion order, and each run's
+        simulation is seeded/deterministic, so the per-run
+        ``RunReport.result`` payloads are bit-identical to a serial
+        sweep.  A worker failure re-raises the original exception.
+
+        Serial fallback: ``workers=1``, a single spec, or any spec whose
+        dict form does not pickle (e.g. exotic ``machine_overrides``)
+        runs everything in-process; only then do reports keep their
+        in-memory ``run_result``/``tracer`` handles (pooled reports
+        still expose ``result_view``).
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        specs = list(specs)
+        t0 = time.perf_counter()  # wall-clock-ok: host-side telemetry only
+        payloads = [spec.to_dict() for spec in specs]
+        use_pool = workers > 1 and len(specs) > 1
+        if use_pool:
+            import pickle
+
+            try:
+                pickle.dumps(payloads)
+            except Exception:
+                use_pool = False  # unpicklable spec: serial fallback
+        if use_pool:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(specs))
+            ) as pool:
+                dicts = list(
+                    pool.map(_run_spec_payload, payloads, chunksize=chunksize)
+                )
+            reports = [RunReport.from_dict(d) for d in dicts]
+        else:
+            workers = 1
+            reports = [self.run(spec) for spec in specs]
+        return SweepReport(
+            reports=reports,
+            workers=min(workers, max(len(specs), 1)),
+            host_wall_s=time.perf_counter() - t0,  # wall-clock-ok: host-side telemetry only
+        )
 
     def run(self, spec: ExperimentSpec) -> RunReport:
         """Execute one experiment end to end and return its RunReport."""

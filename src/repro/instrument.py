@@ -69,6 +69,8 @@ class MetricsHub:
         return {
             "total_bytes": self.fabric.bytes_transferred,
             "total_messages": self.fabric.messages_transferred,
+            "fast_transfers": getattr(self.fabric, "fast_transfers", 0),
+            "slow_transfers": getattr(self.fabric, "slow_transfers", 0),
             "links": links,
         }
 

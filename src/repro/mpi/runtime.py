@@ -217,7 +217,7 @@ class MPIRuntime:
         yield from self.fabric.transfer(
             src_proc.node.node_id, dst_proc.node.node_id, n
         )
-        yield dst_proc.mailbox.put(
+        put_ev = dst_proc.mailbox.put(
             Envelope(
                 context_id=context_id,
                 source=source_rank,
@@ -226,6 +226,11 @@ class MPIRuntime:
                 payload=payload,
             )
         )
+        if not put_ev.triggered:
+            # Only a bounded mailbox exerts back-pressure; the common
+            # (unbounded) case delivered synchronously — skip the
+            # zero-delay queue round trip.
+            yield put_ev
 
     # -- launching ---------------------------------------------------------
     def _place(

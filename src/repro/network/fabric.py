@@ -16,10 +16,11 @@ for the serialization time.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..hardware.node import Node
 from ..sim import Simulator
+from ..sim.resources import Request, Resource
 from .topology import Topology
 
 __all__ = [
@@ -42,13 +43,58 @@ EAGER_THRESHOLD_BYTES = 32 * 1024
 PROTOCOL_EFFICIENCY = 0.82
 
 
+class _RouteCost:
+    """Precomputed per-route terms, cached by ``(src, dst)``.
+
+    Holds the canonically-sorted directed links (the deadlock-free
+    acquisition order), their per-direction channel pools, and the
+    route's analytic cost terms, so the per-transfer work reduces to a
+    multiply-add plus an occupancy check.
+    """
+
+    __slots__ = ("directed", "links", "resources", "hop_latency_s", "bw_eff", "rtt_s")
+
+    def __init__(self, directed: list, protocol_efficiency: float):
+        self.directed: Tuple = tuple(
+            sorted(directed, key=lambda lf: lf[0].key)
+        )
+        self.links: Tuple = tuple(link for link, _fwd in self.directed)
+        self.resources: Tuple[Resource, ...] = tuple(
+            link.resource_for(fwd) for link, fwd in self.directed
+        )
+        self.hop_latency_s = sum(l.spec.hop_latency_s for l in self.links)
+        self.bw_eff = (
+            min(l.spec.bandwidth_bps for l in self.links) * protocol_efficiency
+            if self.links
+            else float("inf")
+        )
+        self.rtt_s = 2.0 * self.hop_latency_s
+
+
 class Fabric:
     """Transfers bytes between endpoints of a :class:`Topology`.
 
     Endpoints are :class:`~repro.hardware.node.Node` objects registered
-    under their ``node_id``.  The fabric caches routes (the topology is
-    static).
+    under their ``node_id``.  The fabric caches routes and their cost
+    terms (the topology is static between link failures).
+
+    Transfers take one of two paths:
+
+    * **fast path** — when every link of the route is uncontended, link
+      occupancy is bumped directly (no ``Request`` events) and the whole
+      transfer is a single pooled bare-delay yield;
+    * **slow path** — the moment any link is busy, the transfer falls
+      back to per-link FIFO ``Resource.request()``/``release()`` (with
+      ``Request`` objects recycled through a pool).
+
+    Both paths produce identical simulated timestamps and per-link
+    counters; ``fast_path_enabled`` (class or instance attribute) forces
+    the slow path for verification.
     """
+
+    #: set False (per class or instance) to force every transfer down
+    #: the FIFO slow path — the two paths must agree exactly
+    fast_path_enabled: bool = True
 
     def __init__(
         self,
@@ -65,8 +111,14 @@ class Fabric:
         self.protocol_efficiency = protocol_efficiency
         self._nodes: Dict[str, Node] = {}
         self._route_cache: Dict[Tuple[str, str], list] = {}
+        self._cost_cache: Dict[Tuple[str, str], _RouteCost] = {}
+        self._request_pool: List[Request] = []
         self.bytes_transferred = 0
         self.messages_transferred = 0
+        #: transfers that skipped the Request event machinery entirely
+        self.fast_transfers = 0
+        #: transfers that went through per-link FIFO queueing
+        self.slow_transfers = 0
         #: optional :class:`~repro.sim.Tracer`: every transfer is
         #: recorded as an interval on a per-link actor ("cn00<->sw.…"),
         #: so fabric occupancy renders as a Gantt chart
@@ -101,6 +153,17 @@ class Fabric:
             self._route_cache[key] = self.topology.directed_links_on_path(path)
         return self._route_cache[key]
 
+    def route_cost(self, src: str, dst: str) -> _RouteCost:
+        """Cached cost terms + canonically-sorted links of one route."""
+        key = (src, dst)
+        rc = self._cost_cache.get(key)
+        if rc is None:
+            rc = _RouteCost(
+                self.directed_route(src, dst), self.protocol_efficiency
+            )
+            self._cost_cache[key] = rc
+        return rc
+
     def fail_link(self, u: str, v: str) -> None:
         """Fail a fabric link; subsequent traffic reroutes around it.
 
@@ -109,11 +172,13 @@ class Fabric:
         """
         self.topology.fail_link(u, v)
         self._route_cache.clear()
+        self._cost_cache.clear()
 
     def restore_link(self, u: str, v: str) -> None:
         """Return a previously failed link to service and re-route."""
         self.topology.restore_link(u, v)
         self._route_cache.clear()
+        self._cost_cache.clear()
 
     def hops(self, src: str, dst: str) -> int:
         """Number of links on the route between two endpoints."""
@@ -122,10 +187,8 @@ class Fabric:
     # -- analytic cost model ----------------------------------------------
     def wire_time(self, src: str, dst: str, nbytes: int) -> float:
         """Latency + serialization along the route, without CPU overheads."""
-        links = self.route(src, dst)
-        lat = sum(l.spec.hop_latency_s for l in links)
-        bw = min(l.spec.bandwidth_bps for l in links) * self.protocol_efficiency
-        return lat + nbytes / bw
+        rc = self.route_cost(src, dst)
+        return rc.hop_latency_s + nbytes / rc.bw_eff
 
     def transfer_time(
         self, src: str, dst: str, nbytes: int, rdma: bool = False
@@ -134,17 +197,23 @@ class Fabric:
         if nbytes < 0:
             raise ValueError("negative message size")
         src_node, dst_node = self._nodes[src], self._nodes[dst]
+        rc = self.route_cost(src, dst)
         if rdma:
             # Remote DMA: no software processing on the remote side.
-            overhead = src_node.nic_sw_overhead_s
-        else:
-            overhead = src_node.nic_sw_overhead_s + dst_node.nic_sw_overhead_s
-        t = overhead + self.wire_time(src, dst, nbytes)
-        if not rdma and nbytes > self.eager_threshold:
+            return (
+                src_node.nic_sw_overhead_s
+                + rc.hop_latency_s
+                + nbytes / rc.bw_eff
+            )
+        t = (
+            src_node.nic_sw_overhead_s
+            + dst_node.nic_sw_overhead_s
+            + rc.hop_latency_s
+            + nbytes / rc.bw_eff
+        )
+        if nbytes > self.eager_threshold:
             # Rendezvous: request-to-send / clear-to-send round trip.
-            links = self.route(src, dst)
-            rtt = 2 * sum(l.spec.hop_latency_s for l in links)
-            t += rtt + dst_node.nic_sw_overhead_s
+            t += rc.rtt_s + dst_node.nic_sw_overhead_s
         return t
 
     # -- simulated transfer (with contention) -------------------------------
@@ -159,7 +228,9 @@ class Fabric:
 
         Acquires every link of the route (in canonical order, which
         prevents deadlock) for the serialization time, so concurrent
-        messages crossing a shared link queue behind each other.
+        messages crossing a shared link queue behind each other.  When
+        the whole route is idle the acquisition skips the event
+        machinery entirely (see the class docstring).
 
         Transfers touching a failed node raise :class:`NodeFailedError`
         (the NIC stops responding with its host).
@@ -178,29 +249,52 @@ class Fabric:
             return
 
         duration = self.transfer_time(src, dst, nbytes, rdma=rdma)
-        directed = sorted(
-            self.directed_route(src, dst), key=lambda lf: lf[0].key
-        )
-        requests = []
-        for link, forward in directed:
-            resource = link.resource_for(forward)
-            t_wait = self.sim.now
-            req = resource.request()
-            yield req
-            link.stall_time_s += self.sim.now - t_wait
-            requests.append((resource, req))
-        t0 = self.sim.now
-        links = [link for link, _fwd in directed]
-        try:
-            yield duration
-            for link in links:
-                link.bytes_carried += nbytes
-                link.messages_carried += 1
-        finally:
-            for resource, req in requests:
-                resource.release(req)
+        rc = self.route_cost(src, dst)
+        resources = rc.resources
+
+        if self.fast_path_enabled and all(
+            r._in_use < r.capacity and not r._waiting for r in resources
+        ):
+            # Fast path: the route is uncontended — occupy every link
+            # without Request events, one pooled bare-delay yield.
+            # Acquisition is atomic in simulated time (no yields between
+            # the check and the bumps), so it cannot deadlock and any
+            # same-time rival correctly sees the links busy.
+            for r in resources:
+                r._in_use += 1
+            self.fast_transfers += 1
+            t0 = self.sim.now
+            try:
+                yield duration
+            finally:
+                for r in resources:
+                    r.release_slot()
+        else:
+            # Slow path: FIFO-fair queueing on every busy link, with
+            # Request objects recycled through a pool.
+            self.slow_transfers += 1
+            pool = self._request_pool
+            requests = []
+            for (link, _fwd), resource in zip(rc.directed, resources):
+                t_wait = self.sim.now
+                req = resource.request(pool.pop() if pool else None)
+                yield req
+                link.stall_time_s += self.sim.now - t_wait
+                requests.append((resource, req))
+            t0 = self.sim.now
+            try:
+                yield duration
+            finally:
+                for resource, req in requests:
+                    resource.release(req)
+                    if req.processed and not req.abandoned:
+                        pool.append(req)
+
+        for link in rc.links:
+            link.bytes_carried += nbytes
+            link.messages_carried += 1
         if self.tracer is not None:
-            for link in links:
+            for link in rc.links:
                 self.tracer.record(
                     f"{link.key[0]}<->{link.key[1]}",
                     f"{src}->{dst}",

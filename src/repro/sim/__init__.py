@@ -8,7 +8,7 @@ virtual clock through a priority queue.  All times are in **seconds**.
 from .core import Simulator, StopSimulation
 from .events import AllOf, AnyOf, Condition, Event, Interrupt, Timeout
 from .process import Process
-from .resources import Request, Resource, Store
+from .resources import NO_ITEM, Request, Resource, Store
 from .trace import Interval, Tracer
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "Resource",
     "Request",
     "Store",
+    "NO_ITEM",
     "Tracer",
     "Interval",
 ]

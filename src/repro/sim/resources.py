@@ -10,9 +10,23 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Optional
 
-from .events import Event
+from .events import PENDING, Event
 
-__all__ = ["Resource", "Request", "Store"]
+__all__ = ["Resource", "Request", "Store", "NO_ITEM"]
+
+
+class _NoItem:
+    """Sentinel distinguishing "no matching item" from a stored ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<NO_ITEM>"
+
+
+#: returned by :meth:`Store.peek` (as the ``default``) when no buffered
+#: item matches — lets callers distinguish a stored ``None`` from a miss
+NO_ITEM = _NoItem()
 
 
 class Request(Event):
@@ -27,6 +41,21 @@ class Request(Event):
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource
+
+    def _reinit(self, resource: "Resource") -> "Request":
+        """Reset a processed request for reuse (object pooling).
+
+        Only safe once the request is processed and no longer referenced
+        by any waiter; used by the fabric's slow-path request pool.
+        """
+        self.sim = resource.sim
+        self.resource = resource
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
+        self.abandoned = False
+        return self
 
 
 class Resource:
@@ -63,9 +92,13 @@ class Resource:
         """Requests waiting for a slot."""
         return len(self._waiting)
 
-    def request(self) -> Request:
-        """Ask for a slot; yields when granted (FIFO)."""
-        req = Request(self)
+    def request(self, recycled: Optional[Request] = None) -> Request:
+        """Ask for a slot; yields when granted (FIFO).
+
+        ``recycled`` optionally reuses a processed :class:`Request`
+        object instead of allocating one (see :meth:`Request._reinit`).
+        """
+        req = Request(self) if recycled is None else recycled._reinit(self)
         if self._in_use < self.capacity:
             self._in_use += 1
             req.succeed()
@@ -73,10 +106,22 @@ class Resource:
             self._waiting.append(req)
         return req
 
-    def release(self, request: Request) -> None:
-        """Give a granted slot back, waking the next live waiter."""
-        if request.resource is not self:
-            raise ValueError("request belongs to a different resource")
+    def try_acquire(self) -> bool:
+        """Grant a slot immediately if one is idle and nobody queues.
+
+        Event-free counterpart of :meth:`request` for uncontended fast
+        paths; a granted slot must be returned via :meth:`release_slot`.
+        Returns ``False`` (acquiring nothing) under any contention, so
+        FIFO fairness of the queued path is preserved.
+        """
+        if self._in_use < self.capacity and not self._waiting:
+            self._in_use += 1
+            return True
+        return False
+
+    def release_slot(self) -> None:
+        """Return a slot granted by :meth:`try_acquire`, waking the next
+        live waiter (identical granting discipline as :meth:`release`)."""
         while self._waiting:
             nxt = self._waiting.popleft()
             if not nxt.abandoned:  # skip waiters interrupted away
@@ -85,6 +130,12 @@ class Resource:
         self._in_use -= 1
         if self._in_use < 0:
             raise RuntimeError("release without matching request")
+
+    def release(self, request: Request) -> None:
+        """Give a granted slot back, waking the next live waiter."""
+        if request.resource is not self:
+            raise ValueError("request belongs to a different resource")
+        self.release_slot()
 
 
 class Store:
@@ -129,21 +180,30 @@ class Store:
             self._getters.append((ev, filter))
         return ev
 
-    def peek(self, filter: Optional[Callable[[Any], bool]] = None) -> Optional[Any]:
-        """Non-destructively return the first matching item, if any."""
+    def peek(
+        self,
+        filter: Optional[Callable[[Any], bool]] = None,
+        default: Any = None,
+    ) -> Optional[Any]:
+        """Non-destructively return the first matching item, else ``default``.
+
+        A buffered item may legitimately *be* ``None``; pass
+        ``default=NO_ITEM`` (the module sentinel) to distinguish a miss
+        from a matched ``None``.
+        """
         idx = self._find(filter)
-        return self.items[idx] if idx is not None else None
+        return self.items[idx] if idx is not None else default
 
     def watch(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
         """Event that fires with a matching item *without consuming it*.
 
-        Fires immediately if a match is already buffered; otherwise when
-        one arrives (MPI_Probe semantics).
+        Fires immediately if a match is already buffered (even a stored
+        ``None``); otherwise when one arrives (MPI_Probe semantics).
         """
         ev = Event(self.sim)
-        item = self.peek(filter)
-        if item is not None or (filter is None and self.items):
-            ev.succeed(self.items[self._find(filter)])
+        idx = self._find(filter)
+        if idx is not None:
+            ev.succeed(self.items[idx])
         else:
             self._watchers.append((ev, filter))
         return ev

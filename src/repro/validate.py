@@ -48,9 +48,10 @@ class Claim:
         return self.fmt.format(self.measured)
 
 
-def validate_claims(steps: int = 200) -> List[Claim]:
+def validate_claims(steps: int = 200, workers: int = 1) -> List[Claim]:
     """Run the evaluation and grade every claim.  Returns the list of
-    claims with pass/fail; deterministic."""
+    claims with pass/fail; deterministic regardless of ``workers`` (the
+    Fig 7/8 sweeps fan out over :meth:`Engine.run_many`)."""
     claims: List[Claim] = []
     machine = _machine()
     fab = machine.fabric
@@ -106,7 +107,7 @@ def validate_claims(steps: int = 200) -> List[Claim]:
     )
 
     # --- Fig 7 ----------------------------------------------------------
-    f7 = run_fig7(steps=steps)
+    f7 = run_fig7(steps=steps, workers=workers)
     claims.append(
         Claim(
             "F7-field-6x",
@@ -164,7 +165,7 @@ def validate_claims(steps: int = 200) -> List[Claim]:
     )
 
     # --- Fig 8 ----------------------------------------------------------
-    f8 = run_fig8(steps=steps)
+    f8 = run_fig8(steps=steps, workers=workers)
     claims.append(
         Claim(
             "F8-gain-grows",

@@ -6,9 +6,11 @@ import pytest
 
 from repro.engine import (
     REPORT_SCHEMA,
+    SWEEP_SCHEMA,
     Engine,
     ExperimentSpec,
     RunReport,
+    SweepReport,
     normalize_mode,
     preset_machine,
 )
@@ -180,3 +182,74 @@ def test_untraced_run_has_no_intervals():
     assert r.phases == {}
     # the chrome trace degrades gracefully to counters only
     assert all(e["ph"] in ("M", "C") for e in r.to_chrome_trace())
+
+
+# -- run_many / SweepReport -------------------------------------------------
+
+SWEEP_SPECS = [ExperimentSpec(mode="cb", steps=s) for s in (2, 3, 4)]
+
+
+def test_run_many_parallel_matches_serial_in_spec_order():
+    serial = Engine().run_many(SWEEP_SPECS, workers=1)
+    parallel = Engine().run_many(SWEEP_SPECS, workers=2)
+    assert serial.workers == 1 and parallel.workers == 2
+    # spec order regardless of worker completion order
+    assert [r.result["steps"] for r in parallel.reports] == [2, 3, 4]
+    # parallel payloads are bit-identical to a serial sweep
+    for a, b in zip(serial.reports, parallel.reports):
+        assert a.result == b.result
+        assert a.network == b.network
+        assert a.mpi == b.mpi
+    # pooled reports lose the in-memory handle but keep attribute access
+    assert parallel.reports[0].run_result is None
+    assert serial.reports[0].run_result is not None
+    for sweep in (serial, parallel):
+        assert sweep.reports[0].result_view.total_runtime > 0
+
+
+def test_run_many_serial_fallback_for_unpicklable_spec():
+    class _N(int):  # local class: runnable, but its pickle fails
+        pass
+
+    specs = [
+        ExperimentSpec(mode="cb", steps=2, machine_overrides={"cluster_nodes": _N(1)}),
+        ExperimentSpec(mode="cb", steps=2),
+    ]
+    sweep = Engine().run_many(specs, workers=4)
+    assert sweep.workers == 1  # fell back to serial
+    assert all(r.run_result is not None for r in sweep.reports)
+    assert all(r.total_runtime > 0 for r in sweep.reports)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_run_many_worker_failure_surfaces_original_exception(workers):
+    specs = [
+        ExperimentSpec(mode="cb", steps=2),
+        ExperimentSpec(mode="cb", steps=2, machine_overrides={"bogus_kw": 1}),
+    ]
+    with pytest.raises(TypeError, match="bogus_kw"):
+        Engine().run_many(specs, workers=workers)
+
+
+def test_run_many_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        Engine().run_many(SWEEP_SPECS, workers=0)
+
+
+def test_sweep_report_merged_metrics_and_json_round_trip(tmp_path):
+    sweep = Engine().run_many(SWEEP_SPECS, workers=1)
+    merged = sweep.merged_metrics()
+    assert merged["runs"] == len(sweep) == 3
+    assert merged["sim_events"] == sum(r.sim["events_processed"] for r in sweep)
+    assert merged["network_bytes"] == sum(r.network["total_bytes"] for r in sweep)
+    assert merged["fast_transfers"] > 0
+    assert merged["sim_time_s"] > 0
+    path = tmp_path / "sweep.json"
+    sweep.save(path)
+    loaded = SweepReport.load(path)
+    assert loaded.schema == SWEEP_SCHEMA
+    assert loaded.workers == sweep.workers
+    assert loaded.to_dict() == sweep.to_dict()
+    assert [r.result for r in loaded] == sweep.results
+    with pytest.raises(ValueError):
+        SweepReport.from_dict({"schema": SWEEP_SCHEMA})

@@ -1,0 +1,149 @@
+"""The fabric's two transfer paths must be observationally identical.
+
+Uncontended transfers skip the ``Request`` event machinery (fast path);
+contended ones fall back to per-link FIFO queueing (slow path).  These
+tests force the slow path via ``Fabric.fast_path_enabled`` and check
+that simulated timestamps and every per-link counter agree exactly, and
+that the per-route cost cache invalidates on link failures.
+"""
+
+import pytest
+
+from repro.engine import Engine, ExperimentSpec, preset_machine
+from repro.network.fabric import Fabric
+from repro.sim import Resource, Simulator
+
+NBYTES = 64 * 1024  # above the eager threshold: exercises rendezvous
+
+
+def _link_stats(fabric):
+    return {
+        link.key: (link.bytes_carried, link.messages_carried, link.stall_time_s)
+        for link in fabric.topology.links
+    }
+
+
+def _run_scenario(fast_enabled, contenders, n_msgs=10):
+    """``contenders`` senders each push ``n_msgs`` messages at bn00."""
+    machine = preset_machine("deep-er")
+    fabric = machine.fabric
+    fabric.fast_path_enabled = fast_enabled  # instance attr, shadows class
+    sim = machine.sim
+    completions = []
+
+    def sender(src):
+        for _ in range(n_msgs):
+            yield from fabric.transfer(src, "bn00", NBYTES)
+            completions.append((src, sim.now))
+
+    for i in range(contenders):
+        sim.process(sender(f"cn{i:02d}"))
+    sim.run()
+    return completions, _link_stats(fabric), fabric
+
+
+def test_fast_and_slow_agree_uncontended():
+    fast_done, fast_links, fast_fab = _run_scenario(True, contenders=1)
+    slow_done, slow_links, slow_fab = _run_scenario(False, contenders=1)
+    assert fast_done == slow_done  # identical simulated timestamps
+    assert fast_links == slow_links  # identical bytes/messages/stalls
+    # a lone sender never sees a busy link: every transfer is fast
+    assert fast_fab.fast_transfers == 10 and fast_fab.slow_transfers == 0
+    assert slow_fab.slow_transfers == 10 and slow_fab.fast_transfers == 0
+
+
+def test_fast_and_slow_agree_contended():
+    fast_done, fast_links, fast_fab = _run_scenario(True, contenders=4)
+    slow_done, slow_links, slow_fab = _run_scenario(False, contenders=4)
+    assert fast_done == slow_done
+    assert fast_links == slow_links
+    # rivals launched at t=0 queue on the shared switch links, so the
+    # fast run must have exercised BOTH paths
+    assert fast_fab.fast_transfers > 0 and fast_fab.slow_transfers > 0
+    assert slow_fab.fast_transfers == 0
+    # contention really happened: someone stalled
+    assert sum(s[2] for s in fast_links.values()) > 0
+
+
+def test_engine_run_identical_without_fast_path():
+    """A full C+B engine run reports the same physics either way."""
+    spec = ExperimentSpec(mode="cb", steps=5, seed=3)
+    fast = Engine().run(spec)
+    Fabric.fast_path_enabled = False
+    try:
+        slow = Engine().run(spec)
+    finally:
+        Fabric.fast_path_enabled = True
+    assert fast.network["fast_transfers"] > 0
+    assert slow.network["fast_transfers"] == 0
+    fd, sd = fast.to_dict(), slow.to_dict()
+    for key in ("spec", "result", "mpi", "phases", "intervals"):
+        assert fd[key] == sd[key], key
+    for d in (fd, sd):  # only the path mix may differ
+        d["network"] = {
+            k: v
+            for k, v in d["network"].items()
+            if k not in ("fast_transfers", "slow_transfers")
+        }
+    assert fd["network"] == sd["network"]
+    assert fast.sim["sim_time_s"] == slow.sim["sim_time_s"]
+
+
+# -- route-cost cache ---------------------------------------------------------
+
+def test_route_cost_cached_and_invalidated_by_link_faults():
+    fabric = preset_machine("deep-er").fabric
+    rc = fabric.route_cost("cn00", "bn00")
+    assert fabric.route_cost("cn00", "bn00") is rc  # cached, stable identity
+    t_direct = fabric.transfer_time("cn00", "bn00", 1024)
+
+    fabric.fail_link("sw.cluster", "sw.booster")
+    rc_detour = fabric.route_cost("cn00", "bn00")
+    assert rc_detour is not rc
+    assert len(rc_detour.links) > len(rc.links)  # rerouted the long way
+    assert fabric.transfer_time("cn00", "bn00", 1024) > t_direct
+
+    fabric.restore_link("sw.cluster", "sw.booster")
+    rc_back = fabric.route_cost("cn00", "bn00")
+    assert rc_back is not rc_detour
+    assert len(rc_back.links) == len(rc.links)
+    assert fabric.transfer_time("cn00", "bn00", 1024) == pytest.approx(t_direct)
+
+
+def test_transfer_after_reroute_crosses_detour_links():
+    machine = preset_machine("deep-er")
+    fabric = machine.fabric
+
+    def proc():
+        yield from fabric.transfer("cn00", "bn00", 100)
+        fabric.fail_link("sw.cluster", "sw.booster")
+        yield from fabric.transfer("cn00", "bn00", 100)
+
+    machine.sim.run_process(proc())
+    carried = {k for k, s in _link_stats(fabric).items() if s[1] > 0}
+    assert ("sw.booster", "sw.cluster") in carried  # first transfer
+    assert len(carried) > 3  # second one took extra links
+
+
+# -- event-free acquisition primitives ---------------------------------------
+
+def test_try_acquire_respects_capacity_and_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    assert res.try_acquire()
+    assert not res.try_acquire()  # occupied
+    req = res.request()  # a FIFO waiter queues behind the slot
+    assert not req.triggered
+    res.release_slot()  # hands the slot to the waiter, not back to idle
+    assert req.triggered and res.in_use == 1 and res.queued == 0
+    assert not res.try_acquire()  # the waiter holds it now
+    res.release(req)
+    assert res.in_use == 0
+    assert res.try_acquire()  # idle again
+    res.release_slot()
+    assert res.in_use == 0
+
+
+def test_release_slot_without_acquire_raises():
+    with pytest.raises(RuntimeError):
+        Resource(Simulator()).release_slot()

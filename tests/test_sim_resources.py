@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import Resource, Simulator, Store
+from repro.sim import NO_ITEM, Resource, Simulator, Store
 
 
 # ---------------------------------------------------------------- Resource
@@ -176,6 +176,52 @@ def test_store_peek_nonexistent():
     store = Store(sim)
     assert store.peek() is None
     assert store.peek(lambda x: True) is None
+
+
+# A buffered item may legitimately *be* None — the store must never use
+# None internally as a "nothing found" sentinel.
+
+def test_store_watch_fires_on_buffered_none():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(None)
+    ev = store.watch(lambda m: m is None)
+    assert ev.triggered and ev.value is None
+    assert store.watch().triggered  # unfiltered watch sees it too
+    assert len(store) == 1  # watching never consumes
+
+
+def test_store_waiting_watcher_woken_by_put_none():
+    sim = Simulator()
+    store = Store(sim)
+    ev = store.watch(lambda m: m is None)
+    assert not ev.triggered
+    store.put("decoy")
+    assert not ev.triggered
+    store.put(None)
+    assert ev.triggered and ev.value is None
+    assert len(store) == 2
+
+
+def test_store_peek_distinguishes_stored_none_from_miss():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(None)
+    assert store.peek(default=NO_ITEM) is None  # matched the stored None
+    assert store.peek(lambda m: m == "x", default=NO_ITEM) is NO_ITEM
+    assert repr(NO_ITEM) == "<NO_ITEM>"
+
+
+def test_store_get_returns_stored_none():
+    sim = Simulator()
+    store = Store(sim)
+
+    def proc(sim, store):
+        yield store.put(None)
+        item = yield store.get(lambda m: m is None)
+        return (item, len(store))
+
+    assert sim.run_process(proc(sim, store)) == (None, 0)
 
 
 # -------------------------------------------------------------- properties
