@@ -210,12 +210,15 @@ def _rebalance(ctx, comm: Comm, wl: StepWorkload, step: int):
 # Homogeneous modes: both solvers per step on the same allocation
 # (the paper runs them sequentially on the same nodes; total = sum).
 # --------------------------------------------------------------------------
-def _homogeneous_app(ctx: RankContext, cfg: XpicConfig, wl: StepWorkload):
+def _homogeneous_app(
+    ctx: RankContext, cfg: XpicConfig, wl: StepWorkload, resil=None
+):
     comm = ctx.world
     timers = RankTimers()
     yield from comm.barrier()
     timers.start = ctx.sim.now
-    for step in range(cfg.steps):
+    start_step = 0 if resil is None else resil.start_step
+    for step in range(start_step, cfg.steps):
         # ---- field solver ------------------------------------------------
         t0 = ctx.sim.now
         yield from _field_phase(ctx, comm, wl)
@@ -234,6 +237,8 @@ def _homogeneous_app(ctx: RankContext, cfg: XpicConfig, wl: StepWorkload):
         if (step + 1) % IO_EVERY_STEPS == 0:
             yield ctx.compute(wl.io_snapshot_time())
         timers.particles += ctx.sim.now - t0
+        if resil is not None:
+            yield from resil.maybe_checkpoint(ctx, step)
     timers.end = ctx.sim.now
     return timers
 
@@ -253,11 +258,14 @@ def _cluster_field_app(
     wl: StepWorkload,
     overlap: bool = True,
     tracer: Tracer = None,
+    resil=None,
 ):
     """Listing 2: the field solver, spawned onto the Cluster.
 
     ``overlap=False`` replaces the non-blocking exchange + overlapped
     auxiliary work with blocking sends (the overlap ablation).
+    ``resil`` (a resilience hook, see the resilient driver) shifts the
+    step loop to the restart step so both solvers resume in lock-step.
     """
     world = ctx.world
     inter = ctx.get_parent()
@@ -270,7 +278,8 @@ def _cluster_field_app(
     timers.inter_module_comm += ctx.sim.now - t0
     yield from world.barrier()
     timers.start = ctx.sim.now
-    for step in range(cfg.steps):
+    start_step = 0 if resil is None else resil.start_step
+    for step in range(start_step, cfg.steps):
         # fld.solver->calculateE()
         t0 = ctx.sim.now
         yield from _field_phase(ctx, world, wl)
@@ -338,12 +347,20 @@ def _booster_particle_app(
     cluster_nodes: Sequence,
     overlap: bool = True,
     tracer: Tracer = None,
+    resil=None,
 ):
     """Listing 3: the particle solver on the Booster; spawns the
     field solver onto the Cluster (section IV-B approach (1))."""
     world = ctx.world
+    cluster_app = lambda c: _cluster_field_app(  # noqa: E731
+        c, cfg, wl, overlap=overlap, tracer=tracer, resil=resil
+    )
+    if resil is not None:
+        # under fault injection the spawned solver must fail soft: its
+        # aborts are collected by the supervisor, not crash the sim
+        cluster_app = resil.wrap(cluster_app)
     inter = yield from world.spawn(
-        lambda c: _cluster_field_app(c, cfg, wl, overlap=overlap, tracer=tracer),
+        cluster_app,
         cluster_nodes,
         nprocs=world.size,
         name="xpic-field-solver",
@@ -357,7 +374,8 @@ def _booster_particle_app(
     )
     yield from world.barrier()
     timers.start = ctx.sim.now
-    for step in range(cfg.steps):
+    start_step = 0 if resil is None else resil.start_step
+    for step in range(start_step, cfg.steps):
         # ClusterToBooster() + ClusterWait(): receive fields.  The
         # transfer cost is comm overhead; any wait beyond that is the
         # pipeline dependency on the field solve, accounted to neither
@@ -410,6 +428,8 @@ def _booster_particle_app(
                 nbytes=wl.moments_exchange_nbytes,
             )
             timers.inter_module_comm += ctx.sim.now - t0
+        if resil is not None:
+            yield from resil.maybe_checkpoint(ctx, step)
     timers.end = ctx.sim.now
     cluster_timers = yield from inter.recv(source=partner, tag=TAG_TIMERS)
     return (timers, cluster_timers)

@@ -106,12 +106,21 @@ def run_fig7(
     steps: int = FIG78_STEPS,
     engine: Optional[Engine] = None,
     workers: int = 1,
+    fault_plan: Optional[dict] = None,
+    mtbf_s: Optional[float] = None,
 ) -> Fig7Result:
-    """Run the three single-node experiments of Fig 7."""
+    """Run the three single-node experiments of Fig 7.
+
+    ``fault_plan`` (a FaultPlan or its dict form) / ``mtbf_s`` inject
+    the same fault schedule into every run — Fig 7 under failures."""
     engine = engine or Engine()
     modes = list(Mode)
     sweep = engine.run_many(
-        [experiment_spec(mode, steps) for mode in modes], workers=workers
+        [
+            experiment_spec(mode, steps, fault_plan=fault_plan, mtbf_s=mtbf_s)
+            for mode in modes
+        ],
+        workers=workers,
     )
     reports = dict(zip(modes, sweep.reports))
     return Fig7Result(
@@ -124,13 +133,24 @@ def run_fig8(
     node_counts: Tuple[int, ...] = (1, 2, 4, 8),
     engine: Optional[Engine] = None,
     workers: int = 1,
+    fault_plan: Optional[dict] = None,
+    mtbf_s: Optional[float] = None,
 ) -> Fig8Result:
-    """Run the full scaling sweep of Fig 8 (3 modes x node counts)."""
+    """Run the full scaling sweep of Fig 8 (3 modes x node counts).
+
+    ``fault_plan`` / ``mtbf_s`` inject the same fault schedule into
+    every run of the sweep."""
     engine = engine or Engine()
     keys = [(mode, n) for mode in Mode for n in node_counts]
     sweep = engine.run_many(
         [
-            experiment_spec(mode, steps, nodes_per_solver=n)
+            experiment_spec(
+                mode,
+                steps,
+                nodes_per_solver=n,
+                fault_plan=fault_plan,
+                mtbf_s=mtbf_s,
+            )
             for mode, n in keys
         ],
         workers=workers,

@@ -10,7 +10,13 @@ Usage::
     python -m repro fig7 [--steps N]  # single-node mode comparison
     python -m repro fig8 [--steps N]  # scaling sweep
     python -m repro report [FILE]     # benchmark digest, or one RunReport
+    python -m repro faults --mtbf 3600 --horizon 7200 --targets bn00,bn01 \
+        --out plan.json               # draw / inspect a fault plan
     python -m repro all               # everything above
+
+``run``, ``fig7`` and ``fig8`` accept ``--fault-plan FILE`` and/or
+``--mtbf SECONDS`` to execute under fault injection (checkpoint/restart
+through the resilient driver; the report gains a resiliency section).
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from .bench import (
     run_fig8,
 )
 from .hardware import table1_rows
+from .resiliency import FaultPlan
 
 __all__ = ["main"]
 
@@ -78,7 +85,13 @@ def cmd_fig3(_args) -> str:
 
 
 def cmd_fig7(args) -> str:
-    result = run_fig7(steps=args.steps, workers=getattr(args, "workers", 1))
+    fk = _fault_kwargs(args)
+    result = run_fig7(
+        steps=args.steps,
+        workers=getattr(args, "workers", 1),
+        fault_plan=fk.get("fault_plan"),
+        mtbf_s=fk.get("mtbf_s"),
+    )
     rows = []
     for mode in Mode:
         r = result.runs[mode]
@@ -107,7 +120,13 @@ def cmd_fig7(args) -> str:
 
 
 def cmd_fig8(args) -> str:
-    result = run_fig8(steps=args.steps, workers=getattr(args, "workers", 1))
+    fk = _fault_kwargs(args)
+    result = run_fig8(
+        steps=args.steps,
+        workers=getattr(args, "workers", 1),
+        fault_plan=fk.get("fault_plan"),
+        mtbf_s=fk.get("mtbf_s"),
+    )
     ns = result.node_counts
     out = [
         render_series(
@@ -131,6 +150,72 @@ def cmd_fig8(args) -> str:
         "(paper 1.34x)",
     ]
     return "\n".join(out)
+
+
+def _fault_kwargs(args) -> dict:
+    """Spec fields for the --fault-plan / --mtbf / --ckpt-interval flags."""
+    out = {}
+    if getattr(args, "fault_plan", None):
+        out["fault_plan"] = FaultPlan.load(args.fault_plan).to_dict()
+    if getattr(args, "mtbf", None) is not None:
+        out["mtbf_s"] = args.mtbf
+    if getattr(args, "ckpt_interval", None) is not None:
+        out["ckpt_interval_s"] = args.ckpt_interval
+    return out
+
+
+def render_fault_plan(plan: FaultPlan) -> str:
+    """Human-readable table of a fault plan's schedule."""
+    rows = [
+        (
+            f"{ev.time_s:.3f}",
+            ev.kind,
+            ev.target if isinstance(ev.target, str) else "<->".join(ev.target),
+            "-" if ev.duration_s is None else f"{ev.duration_s:.3f}",
+            "-" if ev.factor is None else f"{ev.factor:.2f}",
+        )
+        for ev in plan
+    ]
+    meta = f"{len(plan)} events, seed={plan.seed}, mtbf_s={plan.mtbf_s}"
+    return render_table(
+        ["Time [s]", "Kind", "Target", "Duration [s]", "Factor"],
+        rows,
+        title=f"Fault plan ({meta})",
+    )
+
+
+def cmd_faults(args) -> str:
+    """Draw a Poisson fault plan (or inspect an existing one)."""
+    if args.file:
+        plan = FaultPlan.load(args.file)
+    else:
+        if args.mtbf is None or args.horizon is None:
+            raise ValueError(
+                "faults needs either a plan FILE to inspect or "
+                "--mtbf and --horizon (plus --targets) to generate one"
+            )
+        # node ids, or colon-separated endpoint pairs for link faults
+        targets = [
+            tuple(t.split(":")) if ":" in t else t
+            for t in (s.strip() for s in args.targets.split(","))
+            if t
+        ]
+        if not targets:
+            raise ValueError("--targets needs at least one node id")
+        plan = FaultPlan.poisson(
+            mtbf_s=args.mtbf,
+            horizon_s=args.horizon,
+            targets=targets,
+            seed=args.seed,
+            kind=args.kind,
+            duration_s=args.duration,
+            factor=args.factor,
+        )
+    text = render_fault_plan(plan)
+    if args.out:
+        plan.save(args.out)
+        text += f"\n\nfault plan written to {args.out}"
+    return text
 
 
 def render_run_report(report: RunReport) -> str:
@@ -170,6 +255,30 @@ def render_run_report(report: RunReport) -> str:
                 title="Per-link traffic",
             )
         )
+    res = report.resiliency
+    if res:
+        injected = res.get("faults", {}).get("injected", {})
+        transport = res.get("transport", {})
+        ckpts = res.get("checkpoints", {})
+        rows = [
+            ("faults injected",
+             ", ".join(f"{k}={v}" for k, v in injected.items() if v) or "none"),
+            ("transport retries",
+             f"{transport.get('retries', 0)} "
+             f"(backoff {transport.get('backoff_time_s', 0.0):.4f} s)"),
+            ("checkpoints",
+             ", ".join(f"{k}={v}" for k, v in ckpts.items() if v) or "none"),
+            ("ckpt interval [s]",
+             "-" if res.get("ckpt_interval_s") is None
+             else f"{res['ckpt_interval_s']:.3f}"),
+            ("restarts", str(res.get("restarts", 0))),
+            ("lost work [s]", f"{res.get('lost_work_s', 0.0):.4f}"),
+            ("restart time [s]", f"{res.get('restart_time_s', 0.0):.4f}"),
+            ("degraded mode", str(res.get("degraded_mode", False))),
+            ("epochs", str(res.get("epochs", 1))),
+        ]
+        out.append("")
+        out.append(render_table(["Metric", "Value"], rows, title="Resiliency"))
     comms = report.mpi.get("communicators", {})
     if comms:
         out.append("")
@@ -200,6 +309,7 @@ def cmd_run(args) -> str:
         swap_placement=args.swap_placement,
         seed=args.seed,
         trace=args.trace or bool(args.chrome_trace),
+        **_fault_kwargs(args),
     )
     report = Engine().run(spec)
     if args.json:
@@ -403,6 +513,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write Chrome trace-event JSON (chrome://tracing, Perfetto)",
     )
+    rn.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        default=None,
+        help="inject the faults of a plan JSON (see `repro faults`)",
+    )
+    rn.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        help="stream Poisson node crashes at this system MTBF [s]",
+    )
+    rn.add_argument(
+        "--ckpt-interval",
+        type=float,
+        default=None,
+        help="force the checkpoint cadence [s] (default: Young/Daly "
+        "optimum when --mtbf is given)",
+    )
     sw = sub.add_parser(
         "sweep",
         help="run a modes x node-counts sweep through Engine.run_many",
@@ -461,6 +590,65 @@ def build_parser() -> argparse.ArgumentParser:
             default=1,
             help="process-pool workers for the underlying sweep",
         )
+        if name in ("fig7", "fig8"):
+            sp.add_argument(
+                "--fault-plan",
+                metavar="FILE",
+                default=None,
+                help="inject the faults of a plan JSON into every run",
+            )
+            sp.add_argument(
+                "--mtbf",
+                type=float,
+                default=None,
+                help="stream Poisson node crashes at this MTBF [s]",
+            )
+    ft = sub.add_parser(
+        "faults",
+        help="draw a Poisson fault plan, or inspect an existing plan file",
+    )
+    ft.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="existing fault plan JSON to render (omit to generate)",
+    )
+    ft.add_argument(
+        "--mtbf", type=float, default=None, help="system MTBF [s]"
+    )
+    ft.add_argument(
+        "--horizon", type=float, default=None, help="schedule horizon [s]"
+    )
+    ft.add_argument(
+        "--targets",
+        default="",
+        help="comma-separated node ids (or a:b endpoint pairs for link "
+        "faults) the schedule draws from",
+    )
+    ft.add_argument(
+        "--seed", type=int, default=20180521, help="schedule RNG seed"
+    )
+    ft.add_argument(
+        "--kind",
+        default="node_crash",
+        choices=["node_crash", "link_down", "link_degrade"],
+        help="fault kind of every drawn event (default node_crash)",
+    )
+    ft.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="self-heal each fault after this many seconds",
+    )
+    ft.add_argument(
+        "--factor",
+        type=float,
+        default=None,
+        help="bandwidth fraction for link_degrade events",
+    )
+    ft.add_argument(
+        "--out", metavar="FILE", default=None, help="write the plan JSON"
+    )
     return p
 
 
@@ -476,6 +664,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig8": cmd_fig8,
         "validate": cmd_validate,
         "report": cmd_report,
+        "faults": cmd_faults,
         "all": cmd_all,
     }[args.command]
     try:

@@ -34,13 +34,15 @@ from typing import Any, Dict, Optional
 from .apps.seismic import SeismicPlacement, run_seismic
 from .apps.xpic import Mode, run_experiment, table2_setup
 from .apps.xpic.config import SpeciesConfig, XpicConfig
+from .apps.xpic.resilient_driver import run_resilient_experiment
 from .hardware.machine import (
     Machine,
     build_deep_er_prototype,
     build_jureca_like,
 )
 from .instrument import MetricsHub
-from .mpi import MPIRuntime
+from .mpi import FaultTolerancePolicy, MPIRuntime
+from .resiliency import FaultPlan
 from .sim import Simulator, Tracer
 
 __all__ = [
@@ -145,6 +147,12 @@ class ExperimentSpec:
     trace: bool = False
     machine_overrides: Dict[str, Any] = field(default_factory=dict)
     config: Optional[XpicConfig] = None
+    #: fault injection (stored as the FaultPlan dict so specs stay
+    #: JSON-safe); any of these set routes the run through the
+    #: resilient supervisor and adds a ``resiliency`` report section
+    fault_plan: Optional[dict] = None
+    mtbf_s: Optional[float] = None
+    ckpt_interval_s: Optional[float] = None
 
     def __post_init__(self):
         if self.preset not in MACHINE_PRESETS:
@@ -158,6 +166,17 @@ class ExperimentSpec:
             raise ValueError("steps cannot be negative")
         if self.nodes_per_solver < 1:
             raise ValueError("need at least one node per solver")
+        if isinstance(self.fault_plan, FaultPlan):
+            self.fault_plan = self.fault_plan.to_dict()
+        if self.fault_plan is not None:
+            # validate eagerly so a bad plan fails at spec construction
+            FaultPlan.from_dict(self.fault_plan)
+        if self.mtbf_s is not None and self.mtbf_s <= 0:
+            raise ValueError("mtbf_s must be positive")
+        if self.ckpt_interval_s is not None and self.ckpt_interval_s <= 0:
+            raise ValueError("ckpt_interval_s must be positive")
+        if self.wants_resiliency and self.app != "xpic":
+            raise ValueError("fault injection is only wired to the xpic app")
         # normalize early so bad modes fail at spec construction
         if self.app == "xpic":
             self.mode = normalize_mode(self.mode).value
@@ -165,6 +184,21 @@ class ExperimentSpec:
             self.mode = SeismicPlacement(
                 str(self.mode).strip().capitalize()
             ).value
+
+    @property
+    def wants_resiliency(self) -> bool:
+        """True when this spec asks for the fault-injected run path
+        (a plan with events, a streaming MTBF, or forced checkpoints).
+        A zero-event plan alone does *not* count: it must produce the
+        exact event stream of an uninjected run."""
+        plan_has_events = bool(
+            self.fault_plan and self.fault_plan.get("events")
+        )
+        return (
+            plan_has_events
+            or self.mtbf_s is not None
+            or self.ckpt_interval_s is not None
+        )
 
     # -- machine construction ---------------------------------------------
     def build_machine(self, sim: Optional[Simulator] = None) -> Machine:
@@ -228,6 +262,10 @@ class RunReport:
     mpi: dict
     phases: dict
     intervals: list = field(default_factory=list)
+    #: fault-injection section (empty for non-resilient runs): faults
+    #: injected, transport retries, checkpoints by level, restarts,
+    #: lost work seconds, degraded-mode flag
+    resiliency: dict = field(default_factory=dict)
     schema: str = REPORT_SCHEMA
     run_result: Any = field(default=None, repr=False, compare=False)
     tracer: Any = field(default=None, repr=False, compare=False)
@@ -277,6 +315,7 @@ class RunReport:
             "mpi": self.mpi,
             "phases": self.phases,
             "intervals": self.intervals,
+            "resiliency": self.resiliency,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -295,6 +334,7 @@ class RunReport:
                 mpi=d["mpi"],
                 phases=d["phases"],
                 intervals=list(d.get("intervals", [])),
+                resiliency=dict(d.get("resiliency") or {}),
                 schema=d.get("schema", REPORT_SCHEMA),
             )
         except KeyError as exc:
@@ -516,15 +556,34 @@ class Engine:
                 use_pool = False  # unpicklable spec: serial fallback
         if use_pool:
             from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
 
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(specs))
-            ) as pool:
-                dicts = list(
-                    pool.map(_run_spec_payload, payloads, chunksize=chunksize)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(specs))
+                ) as pool:
+                    dicts = list(
+                        pool.map(
+                            _run_spec_payload, payloads, chunksize=chunksize
+                        )
+                    )
+            except BrokenProcessPool:
+                # a worker died abruptly (OOM kill, segfault, interpreter
+                # crash) — not an app exception, which would re-raise
+                # above.  The runs are deterministic, so redo the whole
+                # sweep in-process rather than losing it.
+                import warnings
+
+                warnings.warn(
+                    "worker pool broke mid-sweep; rerunning all "
+                    f"{len(specs)} specs serially",
+                    RuntimeWarning,
+                    stacklevel=2,
                 )
-            reports = [RunReport.from_dict(d) for d in dicts]
-        else:
+                use_pool = False
+            else:
+                reports = [RunReport.from_dict(d) for d in dicts]
+        if not use_pool:
             workers = 1
             reports = [self.run(spec) for spec in specs]
         return SweepReport(
@@ -537,7 +596,16 @@ class Engine:
         """Execute one experiment end to end and return its RunReport."""
         t0 = time.perf_counter()  # wall-clock-ok: host-side telemetry only
         machine = spec.build_machine()
-        runtime = MPIRuntime(machine)
+        if spec.wants_resiliency:
+            # transport-level fault tolerance rides along with injection
+            runtime = MPIRuntime(
+                machine,
+                fault_tolerance=FaultTolerancePolicy(
+                    max_retries=2, backoff_base_s=1e-4
+                ),
+            )
+        else:
+            runtime = MPIRuntime(machine)
         tracer = Tracer() if spec.trace else None
         if tracer is not None:
             machine.fabric.tracer = tracer
@@ -548,8 +616,11 @@ class Engine:
             tracer=tracer,
         )
 
+        resiliency: dict = {}
         if spec.app == "xpic":
-            result_obj, result = self._run_xpic(spec, machine, runtime, tracer)
+            result_obj, result, resiliency = self._run_xpic(
+                spec, machine, runtime, tracer
+            )
         else:
             result_obj, result = self._run_seismic(spec, machine, runtime)
 
@@ -576,6 +647,7 @@ class Engine:
             mpi=metrics["mpi"],
             phases=metrics["phases"],
             intervals=intervals,
+            resiliency=resiliency,
             run_result=result_obj,
             tracer=tracer,
         )
@@ -587,18 +659,42 @@ class Engine:
             cfg = table2_setup(steps=spec.steps)
             if spec.seed != cfg.seed:
                 cfg = dataclasses.replace(cfg, seed=spec.seed)
-        rr = run_experiment(
-            machine,
-            normalize_mode(spec.mode),
-            cfg,
-            nodes_per_solver=spec.nodes_per_solver,
-            overlap=spec.overlap,
-            swap_placement=spec.swap_placement,
-            tracer=tracer,
-            load_balanced=spec.load_balanced,
-            imbalance_alpha=spec.imbalance_alpha,
-            runtime=runtime,
-        )
+        resiliency: dict = {}
+        if spec.wants_resiliency:
+            plan = (
+                FaultPlan.from_dict(spec.fault_plan)
+                if spec.fault_plan is not None
+                else None
+            )
+            rr, resiliency = run_resilient_experiment(
+                machine,
+                normalize_mode(spec.mode),
+                cfg,
+                fault_plan=plan,
+                mtbf_s=spec.mtbf_s,
+                ckpt_interval_s=spec.ckpt_interval_s,
+                fault_seed=spec.seed,
+                nodes_per_solver=spec.nodes_per_solver,
+                overlap=spec.overlap,
+                swap_placement=spec.swap_placement,
+                tracer=tracer,
+                load_balanced=spec.load_balanced,
+                imbalance_alpha=spec.imbalance_alpha,
+                runtime=runtime,
+            )
+        else:
+            rr = run_experiment(
+                machine,
+                normalize_mode(spec.mode),
+                cfg,
+                nodes_per_solver=spec.nodes_per_solver,
+                overlap=spec.overlap,
+                swap_placement=spec.swap_placement,
+                tracer=tracer,
+                load_balanced=spec.load_balanced,
+                imbalance_alpha=spec.imbalance_alpha,
+                runtime=runtime,
+            )
         result = {
             "app": "xpic",
             "mode": rr.mode.value,
@@ -610,7 +706,7 @@ class Engine:
             "inter_module_comm_time": rr.inter_module_comm_time,
             "comm_overhead_fraction": rr.comm_overhead_fraction,
         }
-        return rr, result
+        return rr, result, resiliency
 
     def _run_seismic(self, spec, machine, runtime):
         sr = run_seismic(

@@ -75,10 +75,15 @@ class MetricsHub:
         }
 
     def mpi_metrics(self) -> dict:
-        """Per-communicator point-to-point and collective traffic."""
+        """Per-communicator point-to-point and collective traffic,
+        plus transport fault-tolerance counters when a retry policy is
+        active on the runtime."""
         if self.runtime is None:
             return {}
-        return {"communicators": self.runtime.comm_traffic()}
+        out = {"communicators": self.runtime.comm_traffic()}
+        if getattr(self.runtime, "fault_tolerance", None) is not None:
+            out["transport"] = self.runtime.transport_metrics()
+        return out
 
     def phase_metrics(self) -> dict:
         """Per-actor busy time by label, from the app-level tracer."""

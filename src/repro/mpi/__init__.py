@@ -9,12 +9,27 @@ Cluster and Booster.
 from .cart import CartComm, cart_create, dims_create
 from .communicator import MAX, MIN, PROD, SUM, Comm, PersistentRequest
 from .datatypes import ANY_SOURCE, ANY_TAG, Bytes, payload_nbytes
-from .errors import CommError, MPIError, RankError, TruncationError
+from .errors import (
+    CommError,
+    MPIError,
+    PeerFailedError,
+    RankError,
+    RouteDownError,
+    TransportError,
+    TransportTimeoutError,
+    TruncationError,
+)
 from .message import Envelope
 from .mpiio import MODE_CREATE, MODE_RDONLY, MODE_RDWR, MODE_WRONLY, File
 from .request import Request, waitall, waitany
 from .rma import Window
-from .runtime import GroupState, MPIProcess, MPIRuntime, RankContext
+from .runtime import (
+    FaultTolerancePolicy,
+    GroupState,
+    MPIProcess,
+    MPIRuntime,
+    RankContext,
+)
 from .status import Status
 
 __all__ = [
@@ -50,4 +65,9 @@ __all__ = [
     "RankError",
     "CommError",
     "TruncationError",
+    "TransportError",
+    "PeerFailedError",
+    "RouteDownError",
+    "TransportTimeoutError",
+    "FaultTolerancePolicy",
 ]

@@ -23,16 +23,57 @@ handshake for large messages is charged inside the wire-time model.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, Sequence
+
+import networkx as nx
 
 from ..hardware.machine import Machine
 from ..hardware.node import Node
+from ..network.fabric import NodeFailedError
 from ..sim import Process, Simulator, Store
+from ..sim.events import AnyOf
 from .datatypes import payload_nbytes
-from .errors import CommError, RankError
+from .errors import (
+    CommError,
+    PeerFailedError,
+    RankError,
+    RouteDownError,
+    TransportTimeoutError,
+)
 from .message import Envelope
 
-__all__ = ["MPIProcess", "GroupState", "MPIRuntime"]
+__all__ = ["MPIProcess", "GroupState", "MPIRuntime", "FaultTolerancePolicy"]
+
+
+@dataclass(frozen=True)
+class FaultTolerancePolicy:
+    """How the runtime reacts to transport failures.
+
+    With no policy attached (the default), a transfer that hits a dead
+    node or severed route raises immediately and transfers never time
+    out — byte-for-byte the pre-fault-tolerance behaviour.
+
+    ``max_retries`` bounds re-attempts per message; between attempts the
+    sender backs off ``backoff_base_s * backoff_factor**attempt``
+    seconds of simulated time, which doubles as the window in which a
+    restored link lets the retry reroute and succeed.  ``timeout_s``
+    (optional) aborts any single transfer attempt that takes longer —
+    e.g. one crawling over a degraded link.
+    """
+
+    max_retries: int = 0
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1:
+            raise ValueError("invalid backoff parameters")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
 
 
 class MPIProcess:
@@ -156,16 +197,42 @@ class RankContext:
 class MPIRuntime:
     """Factory and transport for simulated MPI jobs on one machine."""
 
-    def __init__(self, machine: Machine):
+    def __init__(
+        self,
+        machine: Machine,
+        fault_tolerance: Optional[FaultTolerancePolicy] = None,
+    ):
         self.machine = machine
         self.sim = machine.sim
         self.fabric = machine.fabric
+        self.fault_tolerance = fault_tolerance
         self._context_counter = itertools.count(1)
         #: per-context traffic accounting: context_id -> [messages, bytes]
         self.traffic: dict = {}
         #: context id -> (communicator name, "p2p" | "coll"), so traffic
         #: can be reported per communicator instead of per opaque id
         self.contexts: dict = {}
+        #: every rank sim-process ever launched (spawned children too) —
+        #: lets a supervisor abort a whole job on a fatal fault
+        self.launched_processes: List[Process] = []
+        # transport fault-tolerance accounting
+        self.transport_failures = 0
+        self.transport_retries = 0
+        self.transport_timeouts = 0
+        self.backoff_time_s = 0.0
+
+    def live_processes(self) -> List[Process]:
+        """Launched rank processes that have not finished yet."""
+        return [p for p in self.launched_processes if not p.triggered]
+
+    def transport_metrics(self) -> dict:
+        """Fault-tolerance counter snapshot for the instrumentation hub."""
+        return {
+            "failures": self.transport_failures,
+            "retries": self.transport_retries,
+            "timeouts": self.transport_timeouts,
+            "backoff_time_s": self.backoff_time_s,
+        }
 
     def next_context(self) -> int:
         """Allocate a fresh MPI context id."""
@@ -209,14 +276,26 @@ class MPIRuntime:
         payload: Any,
         nbytes: Optional[int] = None,
     ) -> Generator:
-        """Move one message from ``src_proc`` to ``dst_proc`` (a process)."""
+        """Move one message from ``src_proc`` to ``dst_proc`` (a process).
+
+        Without a :class:`FaultTolerancePolicy` this is exactly one
+        fabric transfer (failures propagate raw).  With one, transport
+        faults surface as typed :class:`~repro.mpi.errors.TransportError`
+        subclasses and each message is retried with exponential backoff
+        — a restored link or rebooted peer lets the retry reroute.
+        """
         n = payload_nbytes(payload) if nbytes is None else int(nbytes)
         stats = self.traffic.setdefault(context_id, [0, 0])
         stats[0] += 1
         stats[1] += n
-        yield from self.fabric.transfer(
-            src_proc.node.node_id, dst_proc.node.node_id, n
-        )
+        if self.fault_tolerance is None:
+            yield from self.fabric.transfer(
+                src_proc.node.node_id, dst_proc.node.node_id, n
+            )
+        else:
+            yield from self._transfer_with_retries(
+                src_proc.node.node_id, dst_proc.node.node_id, n
+            )
         put_ev = dst_proc.mailbox.put(
             Envelope(
                 context_id=context_id,
@@ -231,6 +310,49 @@ class MPIRuntime:
             # (unbounded) case delivered synchronously — skip the
             # zero-delay queue round trip.
             yield put_ev
+
+    def _transfer_once(self, src_id: str, dst_id: str, nbytes: int) -> Generator:
+        """One transfer attempt, optionally bounded by the policy timeout."""
+        timeout_s = self.fault_tolerance.timeout_s
+        if timeout_s is None:
+            yield from self.fabric.transfer(src_id, dst_id, nbytes)
+            return
+        xfer = self.sim.process(self.fabric.transfer(src_id, dst_id, nbytes))
+        xfer.defuse()  # outcome is collected here, not by the simulator
+        race = AnyOf(self.sim, [xfer, self.sim.timeout(timeout_s)])
+        yield race  # a failed child re-raises its exception right here
+        if xfer.triggered:
+            return
+        xfer.interrupt(cause="transport timeout")
+        self.transport_timeouts += 1
+        raise TransportTimeoutError(
+            f"transfer {src_id} -> {dst_id} ({nbytes} B) exceeded "
+            f"{timeout_s} s"
+        )
+
+    def _transfer_with_retries(
+        self, src_id: str, dst_id: str, nbytes: int
+    ) -> Generator:
+        """Retry-with-backoff wrapper mapping fabric faults to typed errors."""
+        policy = self.fault_tolerance
+        delay = policy.backoff_base_s
+        for attempt in range(policy.max_retries + 1):
+            try:
+                yield from self._transfer_once(src_id, dst_id, nbytes)
+                return
+            except NodeFailedError as exc:
+                error = PeerFailedError(str(exc))
+            except nx.exception.NetworkXNoPath as exc:
+                error = RouteDownError(str(exc))
+            except TransportTimeoutError as exc:
+                error = exc
+            self.transport_failures += 1
+            if attempt == policy.max_retries:
+                raise error
+            self.transport_retries += 1
+            self.backoff_time_s += delay
+            yield delay
+            delay *= policy.backoff_factor
 
     # -- launching ---------------------------------------------------------
     def _place(
@@ -280,6 +402,7 @@ class MPIRuntime:
             ctx = RankContext(self, proc, world_view, parent=parent)
             proc.sim_process = self.sim.process(app(ctx))
             sim_procs.append(proc.sim_process)
+        self.launched_processes.extend(sim_procs)
         return sim_procs
 
     def run_app(

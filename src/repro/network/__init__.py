@@ -10,6 +10,7 @@ from .fabric import (
     PROTOCOL_EFFICIENCY,
     Fabric,
     NodeFailedError,
+    NoRouteError,
 )
 from .link import Link, LinkSpec, TOURMALET_LINK
 from .topology import (
@@ -23,6 +24,7 @@ from .topology import (
 __all__ = [
     "Fabric",
     "NodeFailedError",
+    "NoRouteError",
     "Link",
     "LinkSpec",
     "TOURMALET_LINK",

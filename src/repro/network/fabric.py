@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional, Tuple
 
+import networkx as nx
+
 from ..hardware.node import Node
 from ..sim import Simulator
 from ..sim.resources import Request, Resource
@@ -26,6 +28,7 @@ from .topology import Topology
 __all__ = [
     "Fabric",
     "NodeFailedError",
+    "NoRouteError",
     "EAGER_THRESHOLD_BYTES",
     "PROTOCOL_EFFICIENCY",
 ]
@@ -33,6 +36,14 @@ __all__ = [
 
 class NodeFailedError(Exception):
     """A transfer was attempted to or from a failed node."""
+
+
+class NoRouteError(nx.exception.NetworkXNoPath):
+    """No surviving path connects two endpoints.
+
+    Subclasses ``networkx.NetworkXNoPath`` so callers that already catch
+    the raw networkx error keep working.
+    """
 
 #: ParaStation-MPI-like eager/rendezvous switch point.
 EAGER_THRESHOLD_BYTES = 32 * 1024
@@ -146,10 +157,19 @@ class Fabric:
         return [link for link, _fwd in self.directed_route(src, dst)]
 
     def directed_route(self, src: str, dst: str) -> list:
-        """The (cached) (link, forward) pairs between two endpoints."""
+        """The (cached) (link, forward) pairs between two endpoints.
+
+        Raises :class:`NoRouteError` when every path between the
+        endpoints is down (failed links and/or failed nodes).
+        """
         key = (src, dst)
         if key not in self._route_cache:
-            path = self.topology.shortest_path(src, dst)
+            try:
+                path = self.topology.shortest_path(src, dst)
+            except nx.exception.NetworkXNoPath:
+                raise NoRouteError(
+                    f"no surviving route {src!r} -> {dst!r}"
+                ) from None
             self._route_cache[key] = self.topology.directed_links_on_path(path)
         return self._route_cache[key]
 
@@ -178,6 +198,37 @@ class Fabric:
         """Return a previously failed link to service and re-route."""
         self.topology.restore_link(u, v)
         self._route_cache.clear()
+        self._cost_cache.clear()
+
+    def fail_node(self, node_id: str) -> None:
+        """Crash a node: its host stops responding and every incident
+        link leaves the routing graph, so cached routes *through* it are
+        invalidated too (not just routes ending at it)."""
+        self.topology.fail_node(node_id)
+        node = self._nodes.get(node_id)
+        if node is not None and not node.failed:
+            node.fail()
+        self._route_cache.clear()
+        self._cost_cache.clear()
+
+    def restore_node(self, node_id: str) -> None:
+        """Bring a crashed node back (volatile NVMe state stays lost)."""
+        self.topology.restore_node(node_id)
+        node = self._nodes.get(node_id)
+        if node is not None and node.failed:
+            node.recover()
+        self._route_cache.clear()
+        self._cost_cache.clear()
+
+    def degrade_link(self, u: str, v: str, factor: float) -> None:
+        """Run one link at ``factor`` of nominal bandwidth (flaky cable:
+        the route survives but its bottleneck bandwidth drops)."""
+        self.topology.link(u, v).degrade(factor)
+        self._cost_cache.clear()
+
+    def restore_link_quality(self, u: str, v: str) -> None:
+        """Return a degraded link to nominal bandwidth."""
+        self.topology.link(u, v).restore_quality()
         self._cost_cache.clear()
 
     def hops(self, src: str, dst: str) -> int:
@@ -275,14 +326,17 @@ class Fabric:
             self.slow_transfers += 1
             pool = self._request_pool
             requests = []
-            for (link, _fwd), resource in zip(rc.directed, resources):
-                t_wait = self.sim.now
-                req = resource.request(pool.pop() if pool else None)
-                yield req
-                link.stall_time_s += self.sim.now - t_wait
-                requests.append((resource, req))
-            t0 = self.sim.now
+            # acquisition sits inside the try: an interrupt (fault
+            # injection) while queueing on link k must release the k
+            # links already granted, or they stay occupied forever
             try:
+                for (link, _fwd), resource in zip(rc.directed, resources):
+                    t_wait = self.sim.now
+                    req = resource.request(pool.pop() if pool else None)
+                    yield req
+                    link.stall_time_s += self.sim.now - t_wait
+                    requests.append((resource, req))
+                t0 = self.sim.now
                 yield duration
             finally:
                 for resource, req in requests:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..sim import Resource, Simulator
 
@@ -46,6 +46,9 @@ class Link:
         self.sim = sim
         self.u, self.v = u, v
         self.spec = spec
+        #: nominal (undegraded) parameters; ``spec`` is swapped out while
+        #: the link runs degraded and restored from here afterwards
+        self.nominal_spec = spec
         self._resources = {
             True: Resource(sim, capacity=spec.channels),  # u -> v
             False: Resource(sim, capacity=spec.channels),  # v -> u
@@ -63,6 +66,25 @@ class Link:
             "messages": self.messages_carried,
             "stall_time_s": self.stall_time_s,
         }
+
+    def degrade(self, factor: float) -> None:
+        """Run the link at ``factor`` of its nominal bandwidth
+        (0 < factor < 1); transfers in flight keep their old timing."""
+        if not 0 < factor < 1:
+            raise ValueError("degrade factor must be in (0, 1)")
+        self.spec = replace(
+            self.nominal_spec,
+            bandwidth_bps=self.nominal_spec.bandwidth_bps * factor,
+        )
+
+    def restore_quality(self) -> None:
+        """Return the link to its nominal bandwidth."""
+        self.spec = self.nominal_spec
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the link currently runs below nominal bandwidth."""
+        return self.spec is not self.nominal_spec
 
     def resource_for(self, forward: bool) -> Resource:
         """The direction's channel pool (forward = u -> v)."""

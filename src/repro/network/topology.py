@@ -29,12 +29,24 @@ BOOSTER_SWITCH = "sw.booster"
 
 
 class Topology:
-    """A fabric graph whose edges carry :class:`Link` objects."""
+    """A fabric graph whose edges carry :class:`Link` objects.
+
+    Links and vertices can be taken out of service (``fail_link`` /
+    ``fail_node``) and brought back (``restore_link`` / ``restore_node``).
+    An edge is present in the routing graph iff its link exists, is not
+    itself failed, and neither endpoint vertex is down — so failing a
+    node atomically detaches all of its links without forgetting which
+    ones were independently failed.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.graph = nx.Graph()
         self._links: Dict[Tuple[str, str], Link] = {}
+        #: canonical (u, v) keys of links individually taken down
+        self._failed_links: set = set()
+        #: vertices currently down (node crash)
+        self._failed_nodes: set = set()
 
     def add_endpoint(self, node_id: str, kind: str = "node") -> None:
         """Add a vertex (node or switch) to the fabric graph."""
@@ -54,19 +66,81 @@ class Topology:
         """The link object between two directly connected endpoints."""
         return self._links[tuple(sorted((u, v)))]
 
+    def _edge_should_exist(self, key: Tuple[str, str]) -> bool:
+        return (
+            key in self._links
+            and key not in self._failed_links
+            and key[0] not in self._failed_nodes
+            and key[1] not in self._failed_nodes
+        )
+
+    def _sync_edge(self, key: Tuple[str, str]) -> None:
+        """Make the routing graph agree with the link/node failure sets."""
+        present = self.graph.has_edge(*key)
+        if self._edge_should_exist(key) and not present:
+            self.graph.add_edge(*key)
+        elif not self._edge_should_exist(key) and present:
+            self.graph.remove_edge(*key)
+
     def fail_link(self, u: str, v: str) -> None:
-        """Take a link out of service (routing will avoid it)."""
+        """Take a link out of service (routing will avoid it).
+
+        Raises a clear :class:`ValueError` naming the endpoints when no
+        link connects them (non-adjacent pair) or the link is already
+        failed, leaving the topology state untouched.
+        """
         key = tuple(sorted((u, v)))
         if key not in self._links:
-            raise KeyError(f"no link {u!r} <-> {v!r}")
-        self.graph.remove_edge(u, v)
+            raise ValueError(
+                f"cannot fail link {u!r} <-> {v!r}: "
+                "the endpoints are not directly connected"
+            )
+        if key in self._failed_links:
+            raise ValueError(f"link {u!r} <-> {v!r} is already failed")
+        self._failed_links.add(key)
+        self._sync_edge(key)
 
     def restore_link(self, u: str, v: str) -> None:
         """Return a previously failed link to service."""
         key = tuple(sorted((u, v)))
         if key not in self._links:
-            raise KeyError(f"no link {u!r} <-> {v!r}")
-        self.graph.add_edge(u, v)
+            raise ValueError(
+                f"cannot restore link {u!r} <-> {v!r}: "
+                "the endpoints are not directly connected"
+            )
+        self._failed_links.discard(key)
+        self._sync_edge(key)
+
+    def fail_node(self, node_id: str) -> None:
+        """Take a vertex down: all of its links leave the routing graph
+        (traffic *through* the vertex reroutes or fails cleanly)."""
+        if node_id not in self.graph:
+            raise ValueError(f"unknown endpoint {node_id!r}")
+        if node_id in self._failed_nodes:
+            raise ValueError(f"node {node_id!r} is already down")
+        self._failed_nodes.add(node_id)
+        for key in self._links:
+            if node_id in key:
+                self._sync_edge(key)
+
+    def restore_node(self, node_id: str) -> None:
+        """Bring a vertex back up; its non-failed links rejoin the graph."""
+        if node_id not in self.graph:
+            raise ValueError(f"unknown endpoint {node_id!r}")
+        self._failed_nodes.discard(node_id)
+        for key in self._links:
+            if node_id in key:
+                self._sync_edge(key)
+
+    @property
+    def failed_links(self):
+        """Canonical keys of the currently failed links."""
+        return set(self._failed_links)
+
+    @property
+    def failed_nodes(self):
+        """Ids of the currently down vertices."""
+        return set(self._failed_nodes)
 
     def links_on_path(self, path: Iterable[str]):
         """The link objects along a vertex path."""

@@ -6,6 +6,7 @@ NAM and the global file system.
 """
 
 from .failure import FailureModel, expected_runtime, optimal_interval
+from .inject import FAULT_KINDS, FaultEvent, FaultInjector, FaultPlan
 from .scr import SCR, CheckpointLevel, CheckpointRecord
 
 __all__ = [
@@ -15,4 +16,8 @@ __all__ = [
     "SCR",
     "CheckpointLevel",
     "CheckpointRecord",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_KINDS",
 ]

@@ -29,7 +29,7 @@ from ..io.sionlib import SIONFile, buddy_write
 from ..nam.device import NAMDevice, NAMFullError
 from ..sim import Simulator
 
-__all__ = ["CheckpointLevel", "CheckpointRecord", "SCR"]
+__all__ = ["CheckpointLevel", "CheckpointRecord", "SCR", "LEVEL_COST"]
 
 
 class CheckpointLevel(enum.Enum):
@@ -37,6 +37,15 @@ class CheckpointLevel(enum.Enum):
     BUDDY = "buddy"
     NAM = "nam"
     GLOBAL = "global"
+
+
+#: relative restart expense of each level (restores prefer cheap ones)
+LEVEL_COST = {
+    CheckpointLevel.LOCAL: 0,
+    CheckpointLevel.BUDDY: 1,
+    CheckpointLevel.NAM: 2,
+    CheckpointLevel.GLOBAL: 3,
+}
 
 
 @dataclass
@@ -97,6 +106,13 @@ class SCR:
         reachable through their recorded node ids."""
         self.nodes[rank] = node
         self._node_registry[node.node_id] = node
+
+    def level_counts(self) -> dict:
+        """Checkpoints written so far, by level name (for reporting)."""
+        out = {level.value: 0 for level in CheckpointLevel}
+        for rec in self.database:
+            out[rec.level.value] += 1
+        return out
 
     # -- policy ----------------------------------------------------------------
     def need_checkpoint(self) -> bool:
@@ -165,10 +181,22 @@ class SCR:
             region_name = f"{name}"
             try:
                 self.nam.allocate(region_name, nbytes)
+            except NAMFullError:
+                # HMC exhausted: escalate to the global file system (or
+                # degrade to local when there is none) instead of dying
+                self.degraded_checkpoints += 1
+                level = (
+                    CheckpointLevel.GLOBAL
+                    if self.fs is not None
+                    else CheckpointLevel.LOCAL
+                )
+                if level is CheckpointLevel.LOCAL:
+                    yield from node.nvme.write(name, nbytes, payload=payload)
             except ValueError:
                 pass  # region reused across repeated checkpoints
-            yield from self.nam.put(node, region_name, nbytes)
-        elif level is CheckpointLevel.GLOBAL:
+            if level is CheckpointLevel.NAM:
+                yield from self.nam.put(node, region_name, nbytes)
+        if level is CheckpointLevel.GLOBAL:
             if self.fs is None:
                 raise ValueError("no global file system configured")
             if self._sion is None:
@@ -248,7 +276,11 @@ class SCR:
         ]
         if not candidates:
             raise LookupError(f"no surviving checkpoint of step {step} for rank {rank}")
-        rec = candidates[-1]
+        # cheapest surviving level wins (NVMe read beats NAM beats
+        # BeeGFS); newest record breaks ties within a level
+        rec = min(
+            candidates, key=lambda r: (LEVEL_COST[r.level], -r.ckpt_id)
+        )
         name = f"ckpt/{rec.step}/{rank}"
         home = self._node_registry[rec.node_id]
         payload = None

@@ -79,6 +79,15 @@ class Process(Event):
 
     # -- internal ------------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        if self._value is not PENDING:
+            # The process finished between this event being scheduled
+            # and delivered (e.g. two same-instant interrupts: the first
+            # one ends the generator, the second finds it gone).  The
+            # event is stale — discard it.  Fast-path wake tokens never
+            # enter the queue, so only real events need defusing.
+            if isinstance(event, Event):
+                event.defuse()
+            return
         self.sim._active_process = self
         try:
             while True:

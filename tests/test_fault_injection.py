@@ -1,0 +1,214 @@
+"""Tests for fault plans and the live fault injector."""
+
+import json
+
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.resiliency import FAULT_KINDS, FaultEvent, FaultInjector, FaultPlan
+from repro.resiliency.inject import PLAN_SCHEMA
+
+
+# ------------------------------------------------------------ FaultEvent
+def test_fault_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=-1.0, kind="node_crash", target="bn00")
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=0.0, kind="meteor_strike", target="bn00")
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=0.0, kind="node_crash", target=("a", "b"))
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=0.0, kind="link_down", target="bn00")
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=1.0, kind="node_crash", target="bn00", duration_s=0)
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=1.0, kind="link_degrade", target=("a", "b"))
+    with pytest.raises(ValueError):
+        FaultEvent(
+            time_s=1.0, kind="link_degrade", target=("a", "b"), factor=1.5
+        )
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=1.0, kind="node_crash", target="bn00", factor=0.5)
+
+
+def test_fault_event_round_trip_omits_unset_fields():
+    crash = FaultEvent(time_s=1.0, kind="node_crash", target="bn00")
+    assert crash.to_dict() == {
+        "time_s": 1.0, "kind": "node_crash", "target": "bn00",
+    }
+    degrade = FaultEvent(
+        time_s=2.0,
+        kind="link_degrade",
+        target=("bn00", "sw.booster"),
+        duration_s=0.5,
+        factor=0.25,
+    )
+    back = FaultEvent.from_dict(json.loads(json.dumps(degrade.to_dict())))
+    assert back == degrade
+    assert isinstance(back.target, tuple)
+
+
+# ------------------------------------------------------------ FaultPlan
+def test_plan_sorts_events_and_serializes():
+    plan = FaultPlan(
+        [
+            FaultEvent(time_s=5.0, kind="node_crash", target="bn01"),
+            FaultEvent(time_s=1.0, kind="node_crash", target="bn00"),
+        ],
+        seed=7,
+    )
+    assert [e.time_s for e in plan] == [1.0, 5.0]
+    d = plan.to_dict()
+    assert d["schema"] == PLAN_SCHEMA
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_plan_save_load(tmp_path):
+    plan = FaultPlan.poisson(mtbf_s=2.0, horizon_s=10.0, targets=["bn00"])
+    path = tmp_path / "plan.json"
+    plan.save(path)
+    assert FaultPlan.load(path) == plan
+
+
+def test_plan_rejects_unknown_schema():
+    with pytest.raises(ValueError):
+        FaultPlan.from_dict({"schema": "repro.fault_plan/99", "events": []})
+
+
+def test_poisson_plan_is_seed_deterministic():
+    kw = dict(mtbf_s=1.5, horizon_s=20.0, targets=["bn00", "bn01", "bn02"])
+    a = FaultPlan.poisson(seed=42, **kw)
+    b = FaultPlan.poisson(seed=42, **kw)
+    c = FaultPlan.poisson(seed=43, **kw)
+    assert a == b
+    assert a != c
+    assert len(a) > 0
+    assert all(0 < e.time_s <= 20.0 for e in a)
+    assert all(e.target in kw["targets"] for e in a)
+    assert all(e.kind == "node_crash" for e in a)
+
+
+def test_poisson_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan.poisson(mtbf_s=0, horizon_s=1, targets=["a"])
+    with pytest.raises(ValueError):
+        FaultPlan.poisson(mtbf_s=1, horizon_s=1, targets=[])
+
+
+# ------------------------------------------------------------ FaultInjector
+def test_empty_plan_attaches_nothing():
+    machine = build_deep_er_prototype()
+    injector = FaultInjector(machine, plan=FaultPlan())
+    injector.start()
+    assert not injector.active
+    machine.sim.run()
+    assert machine.sim.events_processed == 0
+
+
+def test_plan_replay_applies_and_restores():
+    machine = build_deep_er_prototype()
+    plan = FaultPlan(
+        [
+            FaultEvent(
+                time_s=1.0, kind="node_crash", target="bn00", duration_s=2.0
+            ),
+            FaultEvent(
+                time_s=1.5,
+                kind="link_degrade",
+                target=("bn01", "sw.booster"),
+                duration_s=1.0,
+                factor=0.5,
+            ),
+        ]
+    )
+    injector = FaultInjector(machine, plan=plan)
+    seen = []
+    injector.on_fault(lambda ev: seen.append(("fault", machine.sim.now, ev.kind)))
+    injector.on_restore(lambda ev: seen.append(("restore", machine.sim.now, ev.kind)))
+    injector.start()
+    machine.sim.run()
+    assert ("fault", 1.0, "node_crash") in seen
+    assert ("restore", 3.0, "node_crash") in seen
+    assert ("fault", 1.5, "link_degrade") in seen
+    assert ("restore", 2.5, "link_degrade") in seen
+    # everything healed again
+    assert not machine.fabric.topology.failed_nodes
+    m = injector.metrics()
+    assert m["injected"]["node_crash"] == 1
+    assert m["injected"]["link_degrade"] == 1
+    assert m["restores"] == 2
+    assert [t["target"] for t in m["timeline"]] == [
+        "bn00", ["bn01", "sw.booster"],
+    ]
+
+
+def test_unknown_target_is_skipped_not_fatal():
+    machine = build_deep_er_prototype()
+    plan = FaultPlan(
+        [FaultEvent(time_s=1.0, kind="node_crash", target="bn99")]
+    )
+    injector = FaultInjector(machine, plan=plan)
+    injector.start()
+    machine.sim.run()
+    assert injector.metrics()["skipped"] == 1
+    assert injector.metrics()["injected"]["node_crash"] == 0
+
+
+def test_double_crash_of_same_node_is_skipped():
+    machine = build_deep_er_prototype()
+    plan = FaultPlan(
+        [
+            FaultEvent(time_s=1.0, kind="node_crash", target="bn00"),
+            FaultEvent(time_s=2.0, kind="node_crash", target="bn00"),
+        ]
+    )
+    injector = FaultInjector(machine, plan=plan)
+    injector.start()
+    machine.sim.run()
+    m = injector.metrics()
+    assert m["injected"]["node_crash"] == 1
+    assert m["skipped"] == 1
+
+
+def test_poisson_stream_terminates_when_all_targets_dead():
+    # with every target crashed and nothing self-healing, the stream
+    # must end rather than keep the simulation alive forever
+    machine = build_deep_er_prototype()
+    injector = FaultInjector(
+        machine, mtbf_s=0.5, targets=["bn00", "bn01"], seed=3
+    )
+    injector.start()
+    machine.sim.run()
+    assert machine.fabric.topology.failed_nodes == {"bn00", "bn01"}
+    assert injector.metrics()["injected"]["node_crash"] == 2
+
+
+def test_stop_detaches_and_start_resumes():
+    machine = build_deep_er_prototype()
+    sim = machine.sim
+    injector = FaultInjector(machine, mtbf_s=10.0, targets=["bn00"], seed=1)
+    injector.start()
+    assert injector.active
+
+    def clock(sim):
+        yield sim.timeout(1e-4)
+
+    sim.process(clock(sim))
+    injector.stop()
+    sim.run()  # drains the clock and the interrupted injector
+    assert not injector.active
+    assert not machine.fabric.topology.failed_nodes
+    injector.start()  # resumes the same random stream
+    assert injector.active
+    sim.run()
+    assert machine.fabric.topology.failed_nodes == {"bn00"}
+
+
+def test_injector_rejects_bad_mtbf():
+    machine = build_deep_er_prototype()
+    with pytest.raises(ValueError):
+        FaultInjector(machine, mtbf_s=0.0)
+
+
+def test_fault_kinds_frozen():
+    assert FAULT_KINDS == ("node_crash", "link_down", "link_degrade")

@@ -10,8 +10,19 @@ from repro.sim import Interrupt, Process, Resource, Simulator, Store
 
 def test_unknown_link_failure_rejected():
     machine = build_deep_er_prototype()
-    with pytest.raises(KeyError):
+    with pytest.raises(ValueError, match="cn00.*cn01"):
         machine.fabric.fail_link("cn00", "cn01")  # not directly connected
+    # topology state was not corrupted: intra-cluster traffic unaffected
+    assert machine.fabric.hops("cn00", "cn01") == 2
+
+
+def test_double_link_failure_rejected():
+    machine = build_deep_er_prototype()
+    machine.fabric.fail_link("cn00", "sw.cluster")
+    with pytest.raises(ValueError, match="already failed"):
+        machine.fabric.fail_link("cn00", "sw.cluster")
+    machine.fabric.restore_link("cn00", "sw.cluster")
+    assert machine.fabric.hops("cn00", "cn01") == 2
 
 
 def test_torus_reroutes_around_failed_link():

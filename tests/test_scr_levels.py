@@ -1,0 +1,170 @@
+"""Tests for SCR's level policy, escalation, and cheapest-level restart."""
+
+import pytest
+
+from repro.hardware import build_deep_er_prototype
+from repro.io import BeeGFS
+from repro.nam import NAMDevice
+from repro.resiliency import SCR, CheckpointLevel
+from repro.resiliency.scr import LEVEL_COST
+
+NBYTES = 4 * 2**20
+
+
+def _run(machine, *gens):
+    """Drive checkpoint/restart generators to completion in parallel."""
+    procs = [machine.sim.process(g) for g in gens]
+    machine.sim.run()
+    return [p.value for p in procs]
+
+
+def _make(nam_capacity=None, with_fs=True, n_nodes=4):
+    machine = build_deep_er_prototype()
+    fs = BeeGFS(machine) if with_fs else None
+    nam = (
+        NAMDevice(machine, machine.nams[0], capacity_bytes=nam_capacity)
+        if nam_capacity is not None
+        else None
+    )
+    nodes = machine.booster[:n_nodes]
+    scr = SCR(machine.sim, nodes, machine.fabric, fs=fs, nam=nam)
+    return machine, scr
+
+
+# ------------------------------------------------------------ level policy
+def test_next_level_schedule_cycles_through_levels():
+    _, scr = _make(nam_capacity=10**9)
+    # counter-driven: buddy, nam, buddy, global, buddy, nam, ...
+    seen = []
+    for _ in range(8):
+        level = scr.next_level()
+        seen.append(level)
+        scr.database.append(_fake_record(len(seen), level))
+    assert seen[:4] == [
+        CheckpointLevel.BUDDY,
+        CheckpointLevel.NAM,
+        CheckpointLevel.BUDDY,
+        CheckpointLevel.GLOBAL,
+    ]
+    assert seen[:4] == seen[4:]
+
+
+def _fake_record(n, level):
+    from repro.resiliency import CheckpointRecord
+
+    return CheckpointRecord(
+        ckpt_id=n, step=n, level=level, rank=0, node_id="bn00",
+        nbytes=1, time=0.0,
+    )
+
+
+def test_next_level_without_nam_or_fs():
+    _, scr = _make(nam_capacity=None, with_fs=False)
+    assert scr.next_level() is CheckpointLevel.BUDDY
+    _, solo = _make(nam_capacity=None, with_fs=False, n_nodes=1)
+    assert solo.next_level() is CheckpointLevel.LOCAL
+
+
+def test_nam_full_escalates_to_global():
+    machine, scr = _make(nam_capacity=1)  # 1 byte: every NAM write overflows
+    (rec,) = _run(
+        machine,
+        scr.checkpoint(0, step=1, nbytes=NBYTES, level=CheckpointLevel.NAM),
+    )
+    assert rec.level is CheckpointLevel.GLOBAL
+    assert scr.degraded_checkpoints == 1
+
+
+def test_nam_full_degrades_to_local_without_fs():
+    machine, scr = _make(nam_capacity=1, with_fs=False)
+    (rec,) = _run(
+        machine,
+        scr.checkpoint(0, step=1, nbytes=NBYTES, level=CheckpointLevel.NAM),
+    )
+    assert rec.level is CheckpointLevel.LOCAL
+    assert scr.degraded_checkpoints == 1
+    # the data really is on the node's NVMe
+    assert scr.nodes[0].nvme.contains("ckpt/1/0")
+
+
+# ------------------------------------------------------------ cadence
+def test_need_checkpoint_without_interval_is_never():
+    _, scr = _make()
+    assert scr.checkpoint_interval_s is None
+    assert not scr.need_checkpoint()
+
+
+def test_need_checkpoint_boundary_is_inclusive():
+    machine, scr = _make()
+    scr.checkpoint_interval_s = 2.0
+    assert not scr.need_checkpoint()  # t=0, nothing elapsed
+
+    def clock(sim):
+        yield sim.timeout(2.0)
+
+    machine.sim.process(clock(machine.sim))
+    machine.sim.run()
+    assert scr.need_checkpoint()  # exactly one interval elapsed
+    _run(machine, scr.checkpoint(0, step=1, nbytes=NBYTES))
+    assert not scr.need_checkpoint()  # cadence clock reset by the write
+
+
+# ------------------------------------------------------------ restart choice
+def test_restart_prefers_cheapest_surviving_level():
+    machine, scr = _make(nam_capacity=10**9)
+    _run(
+        machine,
+        scr.checkpoint(0, step=5, nbytes=NBYTES, level=CheckpointLevel.BUDDY),
+        scr.checkpoint(0, step=5, nbytes=NBYTES, level=CheckpointLevel.NAM),
+    )
+    (rec,) = _run(machine, scr.restart(0, step=5))
+    assert rec.level is CheckpointLevel.BUDDY  # NVMe read beats NAM
+
+    # kill the node *and* its buddy: only the NAM copy survives
+    scr.nodes[0].fail()
+    scr.buddy_of(0).fail()
+    spare = machine.booster[5]
+    (rec2,) = _run(machine, scr.restart(0, step=5, onto=spare))
+    assert rec2.level is CheckpointLevel.NAM
+
+
+def test_restart_without_surviving_checkpoint_raises():
+    machine, scr = _make()
+    with pytest.raises(LookupError):
+        _run(machine, scr.restart(0, step=3))
+
+
+def test_level_cost_ordering_matches_hierarchy():
+    assert (
+        LEVEL_COST[CheckpointLevel.LOCAL]
+        < LEVEL_COST[CheckpointLevel.BUDDY]
+        < LEVEL_COST[CheckpointLevel.NAM]
+        < LEVEL_COST[CheckpointLevel.GLOBAL]
+    )
+
+
+def test_level_counts_reporting():
+    machine, scr = _make(nam_capacity=10**9)
+    _run(
+        machine,
+        scr.checkpoint(0, step=1, nbytes=NBYTES, level=CheckpointLevel.LOCAL),
+        scr.checkpoint(1, step=1, nbytes=NBYTES, level=CheckpointLevel.BUDDY),
+    )
+    counts = scr.level_counts()
+    assert counts["local"] == 1 and counts["buddy"] == 1
+    assert counts["nam"] == 0 and counts["global"] == 0
+
+
+def test_replace_node_keeps_old_checkpoints_reachable():
+    machine, scr = _make()
+    _run(
+        machine,
+        scr.checkpoint(0, step=2, nbytes=NBYTES, level=CheckpointLevel.BUDDY),
+    )
+    scr.nodes[0].fail()
+    machine.fabric.fail_node(scr.nodes[0].node_id)
+    spare = machine.booster[6]
+    scr.replace_node(0, spare)
+    assert scr.latest_restartable_step([0]) == 2
+    (rec,) = _run(machine, scr.restart(0, step=2, onto=spare))
+    assert rec.level is CheckpointLevel.BUDDY
