@@ -1,0 +1,87 @@
+"""Microbenchmark — content-addressed cache key + lookup throughput.
+
+The result cache only pays off if a hit costs a vanishing fraction of
+the run it memoizes.  This bench measures the two hot cache paths —
+hashing an :class:`~repro.engine.ExperimentSpec` into its canonical
+content key, and loading a stored :class:`~repro.engine.RunReport`
+from disk — and contrasts them with the simulation time of the small
+run they would short-circuit.  Archives a table and a machine-readable
+JSON under ``benchmarks/_results``.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.bench import render_table
+from repro.cache import ResultCache
+from repro.engine import Engine, ExperimentSpec
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+N_KEYS = 2000
+N_LOOKUPS = 500
+ROUNDS = 3
+
+
+def _archive_json(name: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2))
+
+
+def _bench(fn, n: int) -> float:
+    """Best-of-ROUNDS operations/second for one cache path."""
+    best = 0.0
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn()
+        best = max(best, n / (time.perf_counter() - t0))
+    return best
+
+
+def run_bench(tmp_root) -> dict:
+    cache = ResultCache(tmp_root)
+    spec = ExperimentSpec(mode="cb", steps=5)
+
+    t0 = time.perf_counter()
+    report = Engine().run(spec)
+    run_s = time.perf_counter() - t0
+    cache.put(spec, report)
+
+    keys_per_sec = _bench(lambda: cache.key_for(spec), N_KEYS)
+    hits_per_sec = _bench(lambda: cache.get(spec), N_LOOKUPS)
+    miss_spec = ExperimentSpec(mode="cluster", steps=5)
+    misses_per_sec = _bench(lambda: cache.get(miss_spec), N_LOOKUPS)
+    return {
+        "keys_per_sec": keys_per_sec,
+        "hits_per_sec": hits_per_sec,
+        "misses_per_sec": misses_per_sec,
+        "hit_amortization": run_s * hits_per_sec,
+        "_run_s": run_s,
+    }
+
+
+def test_cache_lookup_per_sec(benchmark, report, tmp_path):
+    r = benchmark.pedantic(
+        lambda: run_bench(tmp_path), rounds=1, iterations=1
+    )
+    rows = [
+        ("spec -> content key", f"{r['keys_per_sec']:,.0f}"),
+        ("hit (load stored report)", f"{r['hits_per_sec']:,.0f}"),
+        ("miss (absent key probe)", f"{r['misses_per_sec']:,.0f}"),
+        (
+            "5-step C+B runs amortized per hit",
+            f"{r['hit_amortization']:,.0f}",
+        ),
+    ]
+    text = render_table(
+        ["Cache path", "Ops/sec"],
+        rows,
+        title="Result-cache lookup throughput",
+    )
+    report("cache_lookup_per_sec", text)
+    _archive_json("cache_lookup_per_sec", r)
+    # a hit must beat re-simulating even this tiny run outright
+    assert r["hit_amortization"] > 1.0
+    assert r["keys_per_sec"] > r["hits_per_sec"] * 0.1

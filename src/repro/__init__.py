@@ -17,10 +17,12 @@ the full stack the paper describes:
 * :mod:`repro.apps.xpic`  — the xPic PIC application (Figs 5-8)
 * :mod:`repro.engine`     — declarative experiment specs + run engine
 * :mod:`repro.instrument` — cross-layer metrics hub
+* :mod:`repro.cache`      — content-addressed experiment result store
+* :mod:`repro.autotune`   — model-guided partition autotuner
 * :mod:`repro.bench`      — benchmark harnesses per table/figure
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .engine import Engine, ExperimentSpec, RunReport, SweepReport
 from .hardware import Machine, build_deep_er_prototype

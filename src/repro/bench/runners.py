@@ -108,11 +108,14 @@ def run_fig7(
     workers: int = 1,
     fault_plan: Optional[dict] = None,
     mtbf_s: Optional[float] = None,
+    cache=None,
 ) -> Fig7Result:
     """Run the three single-node experiments of Fig 7.
 
     ``fault_plan`` (a FaultPlan or its dict form) / ``mtbf_s`` inject
-    the same fault schedule into every run — Fig 7 under failures."""
+    the same fault schedule into every run — Fig 7 under failures.
+    ``cache`` (a :class:`~repro.cache.ResultCache` or directory path)
+    memoizes the runs content-addressed by spec."""
     engine = engine or Engine()
     modes = list(Mode)
     sweep = engine.run_many(
@@ -121,6 +124,7 @@ def run_fig7(
             for mode in modes
         ],
         workers=workers,
+        cache=cache,
     )
     reports = dict(zip(modes, sweep.reports))
     return Fig7Result(
@@ -135,11 +139,12 @@ def run_fig8(
     workers: int = 1,
     fault_plan: Optional[dict] = None,
     mtbf_s: Optional[float] = None,
+    cache=None,
 ) -> Fig8Result:
     """Run the full scaling sweep of Fig 8 (3 modes x node counts).
 
     ``fault_plan`` / ``mtbf_s`` inject the same fault schedule into
-    every run of the sweep."""
+    every run of the sweep; ``cache`` memoizes each run by spec."""
     engine = engine or Engine()
     keys = [(mode, n) for mode in Mode for n in node_counts]
     sweep = engine.run_many(
@@ -154,6 +159,7 @@ def run_fig8(
             for mode, n in keys
         ],
         workers=workers,
+        cache=cache,
     )
     reports = dict(zip(keys, sweep.reports))
     return Fig8Result(

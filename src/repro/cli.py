@@ -5,11 +5,14 @@ Usage::
     python -m repro run --mode cb --steps 100   # one instrumented run
     python -m repro sweep --modes cluster,booster,cb --nodes 1,2,4,8 \
         --workers 4                   # parallel sweep of independent runs
+    python -m repro tune --steps 200  # autotune the C/B partition
+    python -m repro cache stats --dir .repro-cache   # manage the store
     python -m repro table1            # Table I from the machine model
     python -m repro fig3              # fabric bandwidth/latency curves
     python -m repro fig7 [--steps N]  # single-node mode comparison
     python -m repro fig8 [--steps N]  # scaling sweep
-    python -m repro report [FILE]     # benchmark digest, or one RunReport
+    python -m repro report [FILE]     # benchmark digest, or one saved
+                                      # RunReport / SweepReport JSON
     python -m repro faults --mtbf 3600 --horizon 7200 --targets bn00,bn01 \
         --out plan.json               # draw / inspect a fault plan
     python -m repro all               # everything above
@@ -17,6 +20,9 @@ Usage::
 ``run``, ``fig7`` and ``fig8`` accept ``--fault-plan FILE`` and/or
 ``--mtbf SECONDS`` to execute under fault injection (checkpoint/restart
 through the resilient driver; the report gains a resiliency section).
+``run``, ``sweep``, ``tune``, ``fig7`` and ``fig8`` accept
+``--cache DIR`` to memoize runs in a content-addressed result store —
+a repeated spec loads its stored report instead of simulating again.
 """
 
 from __future__ import annotations
@@ -26,8 +32,11 @@ import sys
 from typing import List, Optional
 
 from .apps.xpic import Mode
+from .autotune import TuneReport, TuneSpace, tune
+from .cache import ResultCache
 from .engine import (
     MACHINE_PRESETS,
+    SWEEP_SCHEMA,
     Engine,
     ExperimentSpec,
     RunReport,
@@ -91,6 +100,7 @@ def cmd_fig7(args) -> str:
         workers=getattr(args, "workers", 1),
         fault_plan=fk.get("fault_plan"),
         mtbf_s=fk.get("mtbf_s"),
+        cache=getattr(args, "cache", None),
     )
     rows = []
     for mode in Mode:
@@ -126,6 +136,7 @@ def cmd_fig8(args) -> str:
         workers=getattr(args, "workers", 1),
         fault_plan=fk.get("fault_plan"),
         mtbf_s=fk.get("mtbf_s"),
+        cache=getattr(args, "cache", None),
     )
     ns = result.node_counts
     out = [
@@ -297,6 +308,20 @@ def render_run_report(report: RunReport) -> str:
     return "\n".join(out)
 
 
+def render_cache_stats(stats: dict, title: str = "Result cache") -> str:
+    """Human-readable table of one cache's store + session counters."""
+    rows = [
+        ("store", stats.get("root", "-")),
+        ("entries", str(stats.get("entries", 0))),
+        ("stored bytes", f"{stats.get('stored_bytes', 0):,}"),
+        ("hits", str(stats.get("hits", 0))),
+        ("misses", str(stats.get("misses", 0))),
+        ("bytes read", f"{stats.get('bytes_read', 0):,}"),
+        ("bytes written", f"{stats.get('bytes_written', 0):,}"),
+    ]
+    return render_table(["Metric", "Value"], rows, title=title)
+
+
 def cmd_run(args) -> str:
     """Run one experiment through the engine and print its report."""
     spec = ExperimentSpec(
@@ -311,13 +336,22 @@ def cmd_run(args) -> str:
         trace=args.trace or bool(args.chrome_trace),
         **_fault_kwargs(args),
     )
-    report = Engine().run(spec)
+    cache = ResultCache(args.cache) if getattr(args, "cache", None) else None
+    report = Engine().run(spec, cache=cache)
     if args.json:
         report.save(args.json)
     if args.chrome_trace:
         report.save_chrome_trace(args.chrome_trace)
     text = render_run_report(report)
+    if cache is not None:
+        text += "\n\n" + render_cache_stats(cache.stats())
     notes = []
+    if cache is not None:
+        notes.append(
+            "result cache: hit (report loaded, nothing simulated)"
+            if cache.hits
+            else "result cache: miss (report stored for next time)"
+        )
     if args.json:
         notes.append(f"report JSON written to {args.json}")
     if args.chrome_trace:
@@ -335,48 +369,27 @@ def cmd_validate(args) -> str:
     )
 
 
-def cmd_sweep(args) -> str:
-    """Run a cross product of modes x node counts through run_many."""
-    try:
-        modes = [m.strip() for m in args.modes.split(",") if m.strip()]
-        nodes = [int(n) for n in args.nodes.split(",") if n.strip()]
-    except ValueError as exc:
-        raise ValueError(f"bad sweep axis: {exc}") from None
-    if not modes or not nodes:
-        raise ValueError("sweep needs at least one mode and one node count")
-    keys = [(mode, n) for mode in modes for n in nodes]
-    specs = [
-        ExperimentSpec(
-            preset=args.preset,
-            app=args.app,
-            mode=mode,
-            steps=args.steps,
-            nodes_per_solver=n,
-            seed=args.seed,
-        )
-        for mode, n in keys
-    ]
-    sweep = Engine().run_many(specs, workers=args.workers)
-    if args.json:
-        sweep.save(args.json)
+def render_sweep_report(sweep: SweepReport, title: str = "") -> str:
+    """Human-readable digest of one SweepReport (the one sweep-table
+    renderer: ``repro sweep`` and ``repro report FILE`` both use it)."""
     rows = [
         (
-            r.result.get("mode", mode),
-            str(n),
+            r.result.get("mode", "-"),
+            str(r.result.get("nodes_per_solver", "-")),
             f"{r.total_runtime:.4f}",
             f"{r.comm_overhead_fraction:.2%}",
             str(r.sim.get("events_processed", 0)),
         )
-        for (mode, n), r in zip(keys, sweep.reports)
+        for r in sweep.reports
     ]
     out = [
         render_table(
             ["Mode", "Nodes/solver", "Total [s]", "Comm overhead", "Events"],
             rows,
-            title=(
-                f"Sweep: {args.app} on {args.preset}, {args.steps} steps "
-                f"({len(specs)} runs, {sweep.workers} worker"
-                f"{'s' if sweep.workers != 1 else ''})"
+            title=title
+            or (
+                f"Sweep: {len(sweep)} runs, {sweep.workers} worker"
+                f"{'s' if sweep.workers != 1 else ''}"
             ),
         )
     ]
@@ -387,17 +400,68 @@ def cmd_sweep(args) -> str:
         f"({m['fast_transfers']:,} fast / {m['slow_transfers']:,} queued "
         f"transfers), {m['network_bytes']:,} bytes on the fabric"
     )
+    return "\n".join(out)
+
+
+def cmd_sweep(args) -> str:
+    """Run a cross product of modes x node counts through run_many."""
+    try:
+        modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+        nodes = [int(n) for n in args.nodes.split(",") if n.strip()]
+    except ValueError as exc:
+        raise ValueError(f"bad sweep axis: {exc}") from None
+    if not modes or not nodes:
+        raise ValueError("sweep needs at least one mode and one node count")
+    specs = [
+        ExperimentSpec(
+            preset=args.preset,
+            app=args.app,
+            mode=mode,
+            steps=args.steps,
+            nodes_per_solver=n,
+            seed=args.seed,
+        )
+        for mode in modes
+        for n in nodes
+    ]
+    cache = ResultCache(args.cache) if getattr(args, "cache", None) else None
+    sweep = Engine().run_many(specs, workers=args.workers, cache=cache)
+    if args.json:
+        sweep.save(args.json)
+    out = [
+        render_sweep_report(
+            sweep,
+            title=(
+                f"Sweep: {args.app} on {args.preset}, {args.steps} steps "
+                f"({len(specs)} runs, {sweep.workers} worker"
+                f"{'s' if sweep.workers != 1 else ''})"
+            ),
+        )
+    ]
+    if cache is not None:
+        stats = cache.stats()
+        out.append(
+            f"result cache: {stats['hits']} hit(s), {stats['misses']} "
+            f"miss(es), {stats['entries']} stored entr"
+            f"{'y' if stats['entries'] == 1 else 'ies'}"
+        )
     if args.json:
         out.append(f"sweep report JSON written to {args.json}")
     return "\n".join(out)
 
 
 def cmd_report(args) -> str:
-    """Render a saved RunReport, or compose archived benchmark tables."""
+    """Render a saved RunReport/SweepReport, or compose archived
+    benchmark tables."""
+    import json as _json
     import pathlib
 
     if getattr(args, "file", None):
-        return render_run_report(RunReport.load(args.file))
+        doc = _json.loads(pathlib.Path(args.file).read_text())
+        schema = doc.get("schema") if isinstance(doc, dict) else None
+        if schema == SWEEP_SCHEMA:
+            return render_sweep_report(SweepReport.from_dict(doc))
+        return render_run_report(RunReport.from_dict(doc))
 
     results = pathlib.Path("benchmarks/_results")
     if not results.is_dir():
@@ -426,6 +490,110 @@ def cmd_report(args) -> str:
         parts.append("```")
         parts.append("")
     return "\n".join(parts)
+
+
+def render_tune_report(report: TuneReport) -> str:
+    """Human-readable digest of one TuneReport."""
+    out = []
+    for g, gen in enumerate(report.generations):
+        rows = [
+            (
+                e["label"],
+                f"{e['predicted_s']:.4f}",
+                f"{e['measured_s']:.4f}",
+            )
+            for e in gen["evaluated"]
+        ]
+        out.append(
+            render_table(
+                ["Partition", "Predicted [s]", "Measured [s]"],
+                rows,
+                title=(
+                    f"Generation {g + 1}/{len(report.generations)} "
+                    f"({gen['steps']} steps, {len(rows)} candidates)"
+                ),
+            )
+        )
+        out.append("")
+    best = report.best_config
+    lines = [
+        f"best partition: {best.label()}  "
+        f"({report.best_runtime_s:.4f} s at {report.steps} steps)",
+        f"searched {report.candidates_considered} candidates with "
+        f"{report.evaluations} measured runs",
+        f"model-vs-measured error (final generation): "
+        f"{report.model.get('mean_abs_rel_err', 0.0):.1%}",
+    ]
+    if report.baseline:
+        lines.append(
+            f"hand-coded {report.baseline['label']}: "
+            f"{report.baseline['measured_s']:.4f} s -> tuned speedup "
+            f"{report.speedup_vs_baseline:.3f}x"
+        )
+    out.append("\n".join(lines))
+    if report.cache:
+        out.append("")
+        out.append(render_cache_stats(report.cache))
+    return "\n".join(out)
+
+
+def cmd_tune(args) -> str:
+    """Autotune the Cluster/Booster partition for the xPic workload."""
+    try:
+        node_counts = tuple(
+            int(n) for n in args.nodes.split(",") if n.strip()
+        )
+    except ValueError as exc:
+        raise ValueError(f"bad --nodes list: {exc}") from None
+    space = TuneSpace(node_counts=node_counts)
+    report = tune(
+        space=space,
+        steps=args.steps,
+        preset=args.preset,
+        generations=args.generations,
+        population=args.population,
+        eta=args.eta,
+        min_steps=args.min_steps,
+        workers=args.workers,
+        cache=args.cache,
+        seed=args.seed,
+        baseline=not args.no_baseline,
+    )
+    text = render_tune_report(report)
+    if args.json:
+        report.save(args.json)
+        text += f"\n\ntune report JSON written to {args.json}"
+    return text
+
+
+def cmd_cache(args) -> str:
+    """Manage a result store: stats, prune, verify."""
+    cache = ResultCache(args.dir)
+    if args.verb == "stats":
+        return render_cache_stats(cache.stats())
+    if args.verb == "prune":
+        outcome = cache.prune(max_bytes=args.max_bytes)
+        return (
+            f"pruned {outcome['removed']} entr"
+            f"{'y' if outcome['removed'] == 1 else 'ies'} "
+            f"({outcome['freed_bytes']:,} bytes freed, "
+            f"{outcome['kept']} kept)"
+        )
+    # verify
+    outcome = cache.verify(repair=args.repair)
+    lines = [
+        f"{outcome['ok']} entr{'y' if outcome['ok'] == 1 else 'ies'} ok, "
+        f"{len(outcome['corrupt'])} corrupt, "
+        f"{len(outcome['mismatched'])} key-mismatched"
+    ]
+    for name in outcome["corrupt"]:
+        lines.append(f"  corrupt: {name}")
+    for name in outcome["mismatched"]:
+        lines.append(f"  mismatched: {name}")
+    if args.repair:
+        lines.append(f"removed {outcome['removed']} bad entr"
+                     f"{'y' if outcome['removed'] == 1 else 'ies'}")
+    return "\n".join(lines)
 
 
 def cmd_all(args) -> str:
@@ -514,6 +682,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Chrome trace-event JSON (chrome://tracing, Perfetto)",
     )
     rn.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="memoize the run in a content-addressed result store",
+    )
+    rn.add_argument(
         "--fault-plan",
         metavar="FILE",
         default=None,
@@ -571,6 +745,110 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument(
         "--json", metavar="FILE", default=None, help="write SweepReport JSON"
     )
+    sw.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="memoize every run in a content-addressed result store",
+    )
+    tn = sub.add_parser(
+        "tune",
+        help="autotune the Cluster/Booster partition (model-seeded "
+        "successive halving over the cached engine)",
+    )
+    tn.add_argument(
+        "--preset",
+        default="deep-er",
+        choices=sorted(MACHINE_PRESETS),
+        help="machine preset (default deep-er)",
+    )
+    tn.add_argument(
+        "--steps",
+        type=int,
+        default=FIG78_STEPS,
+        help=f"full-length xPic time steps (default {FIG78_STEPS})",
+    )
+    tn.add_argument(
+        "--nodes",
+        default="1,2,4,8",
+        help="comma-separated per-side rank counts to search "
+        "(default 1,2,4,8)",
+    )
+    tn.add_argument(
+        "--generations",
+        type=int,
+        default=3,
+        help="successive-halving rounds (default 3)",
+    )
+    tn.add_argument(
+        "--population",
+        type=int,
+        default=8,
+        help="model-seeded candidates entering round 1 (default 8)",
+    )
+    tn.add_argument(
+        "--eta",
+        type=int,
+        default=2,
+        help="halving factor between rounds (default 2)",
+    )
+    tn.add_argument(
+        "--min-steps",
+        type=int,
+        default=5,
+        help="floor on short-probe step counts (default 5)",
+    )
+    tn.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for each generation's sweep",
+    )
+    tn.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="memoize every evaluation in a content-addressed store "
+        "(a repeated tune resolves from cache)",
+    )
+    tn.add_argument(
+        "--seed", type=int, default=20180521, help="workload RNG seed"
+    )
+    tn.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip measuring the hand-coded C+B baseline at full steps",
+    )
+    tn.add_argument(
+        "--json", metavar="FILE", default=None, help="write TuneReport JSON"
+    )
+    ca = sub.add_parser(
+        "cache", help="manage a content-addressed result store"
+    )
+    ca.add_argument(
+        "verb",
+        choices=["stats", "prune", "verify"],
+        help="stats: size + counters; prune: evict oldest entries; "
+        "verify: audit entry integrity",
+    )
+    ca.add_argument(
+        "--dir",
+        metavar="DIR",
+        required=True,
+        help="the result store directory",
+    )
+    ca.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="prune: keep at most this many stored bytes (default: 0, "
+        "clear everything)",
+    )
+    ca.add_argument(
+        "--repair",
+        action="store_true",
+        help="verify: delete corrupt or key-mismatched entries",
+    )
     for name, hlp in (
         ("fig7", "Fig 7: single-node mode comparison"),
         ("fig8", "Fig 8: scaling sweep"),
@@ -602,6 +880,12 @@ def build_parser() -> argparse.ArgumentParser:
                 type=float,
                 default=None,
                 help="stream Poisson node crashes at this MTBF [s]",
+            )
+            sp.add_argument(
+                "--cache",
+                metavar="DIR",
+                default=None,
+                help="memoize every run in a content-addressed store",
             )
     ft = sub.add_parser(
         "faults",
@@ -658,6 +942,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "tune": cmd_tune,
+        "cache": cmd_cache,
         "table1": cmd_table1,
         "fig3": cmd_fig3,
         "fig7": cmd_fig7,

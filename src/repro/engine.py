@@ -516,6 +516,18 @@ def _run_spec_payload(spec_dict: dict) -> dict:
     return report.to_dict()
 
 
+def _coerce_cache(cache):
+    """Accept a :class:`~repro.cache.ResultCache`, a directory path
+    (str/Path), or None."""
+    if cache is None:
+        return None
+    from .cache import ResultCache
+
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
 class Engine:
     """Builds the simulated stack for a spec, runs it, reports metrics."""
 
@@ -524,7 +536,7 @@ class Engine:
         return spec.build_machine()
 
     def run_many(
-        self, specs, workers: int = 1, chunksize: int = 1
+        self, specs, workers: int = 1, chunksize: int = 1, cache=None
     ) -> SweepReport:
         """Run a sweep of independent specs, optionally in parallel.
 
@@ -535,18 +547,31 @@ class Engine:
         ``RunReport.result`` payloads are bit-identical to a serial
         sweep.  A worker failure re-raises the original exception.
 
-        Serial fallback: ``workers=1``, a single spec, or any spec whose
-        dict form does not pickle (e.g. exotic ``machine_overrides``)
-        runs everything in-process; only then do reports keep their
-        in-memory ``run_result``/``tracer`` handles (pooled reports
-        still expose ``result_view``).
+        ``cache`` (a :class:`~repro.cache.ResultCache` or a directory
+        path) memoizes runs by content-addressed spec key.  Hits are
+        resolved **in the parent process** — a cached spec never spawns
+        a pool worker — and only the misses are submitted; their fresh
+        reports are stored on the way out.  A cached report is
+        bit-identical to the report of the run that populated it.
+
+        Serial fallback: ``workers=1``, at most one uncached spec, or
+        any spec whose dict form does not pickle (e.g. exotic
+        ``machine_overrides``) runs the misses in-process; only then do
+        their reports keep in-memory ``run_result``/``tracer`` handles
+        (pooled reports still expose ``result_view``).
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        cache = _coerce_cache(cache)
         specs = list(specs)
         t0 = time.perf_counter()  # wall-clock-ok: host-side telemetry only
-        payloads = [spec.to_dict() for spec in specs]
-        use_pool = workers > 1 and len(specs) > 1
+        reports: list = [None] * len(specs)
+        if cache is not None:
+            for i, spec in enumerate(specs):
+                reports[i] = cache.get(spec)
+        misses = [i for i, r in enumerate(reports) if r is None]
+        payloads = [specs[i].to_dict() for i in misses]
+        use_pool = workers > 1 and len(misses) > 1
         if use_pool:
             import pickle
 
@@ -560,7 +585,7 @@ class Engine:
 
             try:
                 with ProcessPoolExecutor(
-                    max_workers=min(workers, len(specs))
+                    max_workers=min(workers, len(misses))
                 ) as pool:
                     dicts = list(
                         pool.map(
@@ -576,24 +601,49 @@ class Engine:
 
                 warnings.warn(
                     "worker pool broke mid-sweep; rerunning all "
-                    f"{len(specs)} specs serially",
+                    f"{len(misses)} uncached specs serially",
                     RuntimeWarning,
                     stacklevel=2,
                 )
                 use_pool = False
             else:
-                reports = [RunReport.from_dict(d) for d in dicts]
+                for i, d in zip(misses, dicts):
+                    reports[i] = RunReport.from_dict(d)
         if not use_pool:
             workers = 1
-            reports = [self.run(spec) for spec in specs]
+            for i in misses:
+                reports[i] = self.run(specs[i])
+        if cache is not None:
+            for i in misses:
+                cache.put(specs[i], reports[i])
         return SweepReport(
             reports=reports,
-            workers=min(workers, max(len(specs), 1)),
+            workers=min(workers, max(len(misses), 1)),
             host_wall_s=time.perf_counter() - t0,  # wall-clock-ok: host-side telemetry only
         )
 
-    def run(self, spec: ExperimentSpec) -> RunReport:
-        """Execute one experiment end to end and return its RunReport."""
+    def run(self, spec: ExperimentSpec, cache=None) -> RunReport:
+        """Execute one experiment end to end and return its RunReport.
+
+        ``cache`` (a :class:`~repro.cache.ResultCache` or a directory
+        path) short-circuits the run when the spec's content-addressed
+        key is already stored — the memoized report comes back
+        bit-identical — and stores the fresh report on a miss.
+        """
+        cache = _coerce_cache(cache)
+        if cache is not None:
+            cached = cache.get(spec)
+            if cached is not None:
+                return cached
+        report = self._run_uncached(spec, cache=cache)
+        if cache is not None:
+            cache.put(spec, report)
+        return report
+
+    def _run_uncached(
+        self, spec: ExperimentSpec, cache=None
+    ) -> RunReport:
+        """The simulate-and-measure path of :meth:`run` (no lookup)."""
         t0 = time.perf_counter()  # wall-clock-ok: host-side telemetry only
         machine = spec.build_machine()
         if spec.wants_resiliency:
@@ -614,6 +664,7 @@ class Engine:
             fabric=machine.fabric,
             runtime=runtime,
             tracer=tracer,
+            cache=cache,
         )
 
         resiliency: dict = {}

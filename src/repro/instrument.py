@@ -23,13 +23,18 @@ __all__ = ["MetricsHub"]
 class MetricsHub:
     """Collects per-layer metrics from an attached simulation stack."""
 
-    def __init__(self, sim=None, fabric=None, runtime=None, tracer=None):
+    def __init__(
+        self, sim=None, fabric=None, runtime=None, tracer=None, cache=None
+    ):
         self.sim = sim
         self.fabric = fabric
         self.runtime = runtime
         self.tracer = tracer
+        self.cache = cache
 
-    def attach(self, sim=None, fabric=None, runtime=None, tracer=None) -> "MetricsHub":
+    def attach(
+        self, sim=None, fabric=None, runtime=None, tracer=None, cache=None
+    ) -> "MetricsHub":
         """Attach (or replace) observed layers; returns self."""
         if sim is not None:
             self.sim = sim
@@ -39,6 +44,8 @@ class MetricsHub:
             self.runtime = runtime
         if tracer is not None:
             self.tracer = tracer
+        if cache is not None:
+            self.cache = cache
         return self
 
     # -- per-layer snapshots ----------------------------------------------
@@ -95,6 +102,14 @@ class MetricsHub:
             actor[iv.label] = actor.get(iv.label, 0.0) + iv.duration
         return out
 
+    def cache_metrics(self) -> dict:
+        """Result-cache session counters (hits, misses, bytes moved)
+        plus store size, from an attached
+        :class:`~repro.cache.ResultCache`."""
+        if self.cache is None:
+            return {}
+        return self.cache.stats()
+
     def snapshot(self) -> dict:
         """One nested dict with every layer's metrics."""
         return {
@@ -102,4 +117,5 @@ class MetricsHub:
             "network": self.network_metrics(),
             "mpi": self.mpi_metrics(),
             "phases": self.phase_metrics(),
+            "cache": self.cache_metrics(),
         }

@@ -16,6 +16,7 @@ from .calibration import (
     solver_ratios,
 )
 from .kernels import AccessPattern, Kernel
+from .partition import PartitionEstimate, predict_partition_step
 from .nodeperf import (
     THREAD_EFFICIENCY,
     VECTOR_EFFICIENCY,
@@ -41,6 +42,8 @@ __all__ = [
     "amdahl_speedup",
     "parallel_efficiency",
     "speedup",
+    "PartitionEstimate",
+    "predict_partition_step",
     "particle_kernel",
     "field_kernel",
     "solver_ratios",

@@ -1,0 +1,201 @@
+"""Tests for the partition autotuner and its perfmodel seeding."""
+
+import pytest
+
+from repro.autotune import (
+    HAND_CODED,
+    TUNE_SCHEMA,
+    PartitionConfig,
+    TuneReport,
+    TuneSpace,
+    _step_schedule,
+    predict_config_step,
+    tune,
+)
+from repro.apps.xpic import XpicConfig, table2_setup
+from repro.cache import ResultCache
+from repro.engine import preset_machine
+
+
+# -- PartitionConfig --------------------------------------------------------
+
+def test_partition_config_mode_mapping():
+    assert PartitionConfig(4, 0).mode == "Cluster"
+    assert PartitionConfig(0, 4).mode == "Booster"
+    assert PartitionConfig(4, 4).mode == "C+B"
+    assert PartitionConfig(4, 4).nodes_per_solver == 4
+    assert PartitionConfig(0, 2).nodes_per_solver == 2
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cluster_nodes": -1, "booster_nodes": 1},
+        {"cluster_nodes": 0, "booster_nodes": 0},
+        {"cluster_nodes": 2, "booster_nodes": 4},  # asymmetric C+B
+    ],
+)
+def test_partition_config_rejects(kwargs):
+    with pytest.raises(ValueError):
+        PartitionConfig(**kwargs)
+
+
+def test_homogeneous_config_canonicalizes_split_knobs():
+    a = PartitionConfig(4, 0, overlap=False, swap_placement=True)
+    b = PartitionConfig(4, 0)
+    assert a == b  # one canonical form -> one cache key
+    assert a.overlap is True and a.swap_placement is False
+
+
+def test_partition_config_to_spec_and_labels():
+    cfg = PartitionConfig(2, 2, overlap=False, swap_placement=True)
+    spec = cfg.to_spec(steps=7, preset="deep-er", config=XpicConfig(steps=99))
+    assert spec.mode == "C+B"
+    assert spec.nodes_per_solver == 2
+    assert spec.overlap is False and spec.swap_placement is True
+    assert spec.config.steps == 7  # probe steps override the config's
+    assert cfg.label() == "C+B 2+2 no-overlap swapped"
+    assert PartitionConfig(8, 0).label() == "Cluster 8"
+    assert PartitionConfig.from_dict(cfg.to_dict()) == cfg
+
+
+# -- TuneSpace --------------------------------------------------------------
+
+def test_space_candidates_clip_to_machine_and_config():
+    machine = preset_machine("deep-er")  # 16 cluster + 8 booster nodes
+    space = TuneSpace(
+        node_counts=(1, 3, 16), overlap=(True,), swap_placement=(False,)
+    )
+    cands = space.candidates(machine=machine, config=table2_setup(steps=5))
+    # ny=64 drops n=3; booster tops out at 8 so no (0,16) or (16,16)
+    assert PartitionConfig(16, 0) in cands
+    assert PartitionConfig(0, 16) not in cands
+    assert all(c.nodes_per_solver != 3 for c in cands)
+    assert cands == sorted(cands)
+
+
+def test_space_rejects_bad_counts():
+    with pytest.raises(ValueError):
+        TuneSpace(node_counts=())
+    with pytest.raises(ValueError):
+        TuneSpace(node_counts=(0,))
+
+
+# -- model seeding ----------------------------------------------------------
+
+def test_predictions_prefer_overlap_and_are_positive():
+    machine = preset_machine("deep-er")
+    config = table2_setup(steps=5)
+    with_overlap = predict_config_step(
+        machine, config, PartitionConfig(1, 1, overlap=True)
+    )
+    without = predict_config_step(
+        machine, config, PartitionConfig(1, 1, overlap=False)
+    )
+    assert 0 < with_overlap.step_s <= without.step_s
+    homogeneous = predict_config_step(machine, config, PartitionConfig(1, 0))
+    assert homogeneous.exchange_s == 0.0
+    assert homogeneous.step_s == pytest.approx(
+        homogeneous.field_s + homogeneous.particle_s
+    )
+
+
+def test_step_schedule_grows_to_full_steps():
+    assert _step_schedule(500, 3, 2, 5) == [125, 250, 500]
+    assert _step_schedule(8, 3, 2, 5) == [5, 5, 8]
+    assert _step_schedule(100, 1, 2, 5) == [100]
+    with pytest.raises(ValueError):
+        _step_schedule(100, 0, 2, 5)
+
+
+# -- the search itself ------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tiny_tune(tmp_path_factory):
+    cache = ResultCache(tmp_path_factory.mktemp("store"))
+    space = TuneSpace(
+        node_counts=(1, 2), overlap=(True, False), swap_placement=(False,)
+    )
+    kwargs = dict(
+        space=space,
+        steps=12,
+        generations=2,
+        population=5,
+        min_steps=4,
+        cache=cache,
+    )
+    first = tune(**kwargs)
+    second = tune(**kwargs)
+    return first, second, cache
+
+
+def test_tune_beats_hand_coded_baseline(tiny_tune):
+    report, _, _ = tiny_tune
+    assert report.baseline["config"] == HAND_CODED.to_dict()
+    assert report.best_runtime_s <= report.baseline["measured_s"]
+    assert report.speedup_vs_baseline >= 1.0
+
+
+def test_tune_trace_is_complete(tiny_tune):
+    report, _, _ = tiny_tune
+    assert len(report.generations) == 2
+    assert report.generations[-1]["steps"] == 12
+    assert report.evaluations == sum(
+        len(g["evaluated"]) for g in report.generations
+    )
+    assert 0 < len(report.generations[-1]["evaluated"]) <= len(
+        report.generations[0]["evaluated"]
+    )
+    for gen in report.generations:
+        for e in gen["evaluated"]:
+            assert e["predicted_s"] > 0 and e["measured_s"] > 0
+    assert report.model["mean_abs_rel_err"] >= 0.0
+    assert report.candidates_considered >= report.evaluations / 2
+
+
+def test_repeated_tune_is_cached_and_bit_identical(tiny_tune):
+    first, second, cache = tiny_tune
+    assert second.best == first.best
+    assert second.best_runtime_s == first.best_runtime_s
+    assert second.generations == first.generations
+    assert second.baseline == first.baseline
+    # the rerun resolved every evaluation (and the baseline) from cache:
+    # the shared cache object accumulated only misses in round one and
+    # only hits in round two
+    assert first.cache["hits"] == 0
+    assert first.cache["misses"] == first.evaluations + 1
+    assert second.cache["hits"] == second.evaluations + 1
+    assert second.cache["misses"] == first.cache["misses"]
+    assert cache.stats()["entries"] > 0
+
+
+def test_tune_report_json_round_trip(tiny_tune):
+    report, _, _ = tiny_tune
+    back = TuneReport.from_json(report.to_json())
+    assert back.to_dict() == report.to_dict()
+    assert report.to_dict()["schema"] == TUNE_SCHEMA
+    assert back.best_config == report.best_config
+    with pytest.raises(ValueError):
+        TuneReport.from_dict({"schema": TUNE_SCHEMA})
+
+
+def test_tune_validates_inputs():
+    with pytest.raises(ValueError):
+        tune(population=0, steps=5)
+    with pytest.raises(ValueError):
+        tune(eta=1, steps=5)
+
+
+def test_tune_without_cache_and_baseline():
+    report = tune(
+        space=TuneSpace(
+            node_counts=(1,), overlap=(True,), swap_placement=(False,)
+        ),
+        steps=6,
+        generations=1,
+        population=2,
+        baseline=False,
+    )
+    assert report.cache == {}
+    assert report.baseline == {}
+    assert report.speedup_vs_baseline == 1.0

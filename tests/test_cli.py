@@ -97,3 +97,112 @@ def test_report_command_renders_saved_run(tmp_path, capsys):
     assert main(["report", str(json_path)]) == 0
     out = capsys.readouterr().out
     assert "Run report" in out and "total runtime" in out
+
+
+def test_report_command_renders_saved_sweep(tmp_path, capsys):
+    json_path = tmp_path / "sweep.json"
+    assert (
+        main(
+            [
+                "sweep", "--modes", "cluster,cb", "--nodes", "1,2",
+                "--steps", "3", "--json", str(json_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["report", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    # the shared sweep renderer: per-run table plus merged totals
+    assert "Sweep: 4 runs" in out
+    assert "Nodes/solver" in out
+    assert "messages" in out and "bytes on the fabric" in out
+
+
+def test_report_command_rejects_unknown_schema(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "something/else"}')
+    assert main(["report", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_command_cache_roundtrip(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    j1, j2 = tmp_path / "r1.json", tmp_path / "r2.json"
+    assert main(
+        ["run", "--mode", "cb", "--steps", "3",
+         "--cache", store, "--json", str(j1)]
+    ) == 0
+    assert "result cache: miss" in capsys.readouterr().out
+    assert main(
+        ["run", "--mode", "cb", "--steps", "3",
+         "--cache", store, "--json", str(j2)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "result cache: hit" in out
+    assert "Result cache" in out  # the counters table
+    assert j1.read_text() == j2.read_text()  # bit-identical report
+
+
+def test_sweep_command_reports_cache_hits(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    args = [
+        "sweep", "--modes", "cluster,cb", "--nodes", "1",
+        "--steps", "3", "--cache", store,
+    ]
+    assert main(args) == 0
+    assert "2 miss(es)" in capsys.readouterr().out
+    assert main(args) == 0
+    assert "2 hit(s)" in capsys.readouterr().out
+
+
+def test_tune_command(tmp_path, capsys):
+    json_path = tmp_path / "tune.json"
+    store = str(tmp_path / "store")
+    args = [
+        "tune", "--steps", "8", "--nodes", "1,2", "--generations", "2",
+        "--population", "4", "--min-steps", "3",
+        "--cache", store, "--json", str(json_path),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "Generation 1/2" in out and "Generation 2/2" in out
+    assert "best partition:" in out
+    assert "tuned speedup" in out
+    assert "model-vs-measured error" in out
+
+    import json
+
+    doc = json.loads(json_path.read_text())
+    assert doc["schema"] == "repro.tune_report/1"
+    assert doc["best_runtime_s"] <= doc["baseline"]["measured_s"]
+
+    # the repeated tune resolves from cache with an identical winner
+    assert main(args) == 0
+    capsys.readouterr()
+    assert json.loads(json_path.read_text())["best"] == doc["best"]
+
+
+def test_tune_command_rejects_bad_nodes(capsys):
+    assert main(["tune", "--nodes", "1,x"]) == 2
+    assert "bad --nodes" in capsys.readouterr().err
+
+
+def test_cache_command_verbs(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(
+        ["run", "--mode", "cluster", "--steps", "2", "--cache", store]
+    ) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--dir", store]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "stored bytes" in out
+
+    assert main(["cache", "verify", "--dir", store]) == 0
+    assert "1 entry ok" in capsys.readouterr().out
+
+    assert main(["cache", "prune", "--dir", store]) == 0
+    assert "pruned 1 entry" in capsys.readouterr().out
+    assert main(["cache", "stats", "--dir", store]) == 0
+    capsys.readouterr()
