@@ -19,17 +19,30 @@ the full stack the paper describes:
 * :mod:`repro.instrument` — cross-layer metrics hub
 * :mod:`repro.cache`      — content-addressed experiment result store
 * :mod:`repro.autotune`   — model-guided partition autotuner
+* :mod:`repro.serve`      — async experiment service (queue/coalesce/batch)
+* :mod:`repro.api`        — the :class:`~repro.api.Session` facade
+* :mod:`repro.report`     — unified schema-tagged report protocol
 * :mod:`repro.bench`      — benchmark harnesses per table/figure
+
+:class:`~repro.api.Session` is the documented entry point::
+
+    from repro import Session
+
+    report = Session().run(mode="cb", steps=100)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
+from .api import Session
 from .engine import Engine, ExperimentSpec, RunReport, SweepReport
 from .hardware import Machine, build_deep_er_prototype
 from .instrument import MetricsHub
+from .report import load_report, report_from_dict
+from .serve import ExperimentService, QueueFull
 from .sim import Simulator
 
 __all__ = [
+    "Session",
     "Simulator",
     "Machine",
     "build_deep_er_prototype",
@@ -38,5 +51,9 @@ __all__ = [
     "RunReport",
     "SweepReport",
     "MetricsHub",
+    "ExperimentService",
+    "QueueFull",
+    "load_report",
+    "report_from_dict",
     "__version__",
 ]

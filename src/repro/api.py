@@ -1,0 +1,154 @@
+"""The one documented front door: :class:`Session`.
+
+PRs 1–4 grew a fast, cached, fault-tolerant experiment stack, but its
+public surface accreted into kwarg sprawl: ``Engine.run(cache=...)``,
+``Engine.run_many(workers=..., cache=...)``, ``autotune.tune(...)``
+each re-threading the same knobs.  A :class:`Session` binds those
+cross-cutting resources — the engine, the result cache, the worker
+width — **once**, and every verb (``run`` / ``sweep`` / ``tune`` /
+``serve``) reuses them::
+
+    from repro.api import Session
+
+    s = Session(cache="~/.cache/repro", workers=4)
+    report = s.run(mode="cb", steps=200)        # one experiment
+    sweep = s.sweep(specs)                      # parallel sweep
+    tuned = s.tune(steps=200)                   # partition autotune
+    with s.serve() as svc:                      # long-running service
+        svc.submit(spec).result()
+
+Every verb returns the same report objects the lower layers produce
+(bit-identical to calling :class:`~repro.engine.Engine` directly), so
+dropping down a layer is always possible — the facade adds no
+behaviour, only a stable surface.  The CLI, claims validation, and the
+figure runners all route through a Session.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .engine import Engine, ExperimentSpec, RunReport, SweepReport, _coerce_cache
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Bound engine + cache + worker width; the unified entry point.
+
+    ``cache`` accepts a :class:`~repro.cache.ResultCache` or a
+    directory path (None disables memoization); ``workers`` is the
+    process-pool width sweeps and tunes fan out over; ``engine``
+    replaces the default :class:`~repro.engine.Engine` (tests inject
+    recording stubs through it).
+    """
+
+    def __init__(self, cache=None, workers: int = 1, engine: Optional[Engine] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1 (got {workers})")
+        self.engine = engine or Engine()
+        self.cache = _coerce_cache(cache)
+        self.workers = workers
+
+    # -- verbs ---------------------------------------------------------------
+    def run(self, spec: Optional[ExperimentSpec] = None, /, **fields) -> RunReport:
+        """Run one experiment; returns its :class:`~repro.engine.RunReport`.
+
+        Accepts a ready :class:`~repro.engine.ExperimentSpec` *or* the
+        spec fields directly (``s.run(mode="cb", steps=100)``).  The
+        session cache memoizes the run when attached.
+        """
+        spec = self._spec(spec, fields)
+        return self.engine.run(spec, cache=self.cache)
+
+    def sweep(self, specs, workers: Optional[int] = None) -> SweepReport:
+        """Run independent specs as one sweep over the session's pool.
+
+        ``workers`` overrides the session width for this sweep only.
+        Results are bit-identical to serial execution regardless of
+        worker count.
+        """
+        return self.engine.run_many(
+            list(specs),
+            workers=self.workers if workers is None else workers,
+            cache=self.cache,
+        )
+
+    def tune(self, space=None, **kwargs):
+        """Autotune the Cluster/Booster partition; returns a TuneReport.
+
+        Forwards to :func:`repro.autotune.tune` with the session's
+        engine, cache, and worker width pre-bound (each still
+        overridable by keyword).
+        """
+        from .autotune import tune
+
+        kwargs.setdefault("engine", self.engine)
+        kwargs.setdefault("cache", self.cache)
+        kwargs.setdefault("workers", self.workers)
+        return tune(space=space, **kwargs)
+
+    def serve(self, **kwargs):
+        """A new :class:`~repro.serve.ExperimentService` on this
+        session's engine, cache, and worker width (each overridable by
+        keyword; see the service for queue/batch/retry knobs)."""
+        from .serve import ExperimentService
+
+        kwargs.setdefault("engine", self.engine)
+        kwargs.setdefault("cache", self.cache)
+        kwargs.setdefault("workers", self.workers)
+        return ExperimentService(**kwargs)
+
+    # -- helpers -------------------------------------------------------------
+    def machine(self, preset: str = "deep-er", **overrides):
+        """Build (unrun) the machine a preset describes."""
+        return self.engine.build_machine(
+            ExperimentSpec(preset=preset, machine_overrides=overrides)
+        )
+
+    def specs(self, base: Optional[dict] = None, **axes) -> List[ExperimentSpec]:
+        """Cross-product spec builder for sweeps.
+
+        Every keyword is either a scalar (fixed field) or a
+        list/tuple (swept axis)::
+
+            s.specs(steps=100, mode=["cluster", "cb"], nodes_per_solver=[1, 2])
+
+        returns the 4 specs of the 2x2 product, in deterministic
+        (sorted-axis, input-order) order.
+        """
+        fixed = dict(base or {})
+        sweep_axes = []
+        for name, value in axes.items():
+            if isinstance(value, (list, tuple)):
+                sweep_axes.append((name, list(value)))
+            else:
+                fixed[name] = value
+        specs = [ExperimentSpec(**fixed)] if not sweep_axes else []
+        if sweep_axes:
+            import itertools
+
+            names = [n for n, _ in sweep_axes]
+            for combo in itertools.product(*(v for _, v in sweep_axes)):
+                specs.append(
+                    ExperimentSpec(**fixed, **dict(zip(names, combo)))
+                )
+        return specs
+
+    def cache_stats(self) -> dict:
+        """The session cache's store + counter stats ({} when none)."""
+        return {} if self.cache is None else self.cache.stats()
+
+    @staticmethod
+    def _spec(spec, fields):
+        if spec is None:
+            return ExperimentSpec(**fields)
+        if fields:
+            raise TypeError(
+                "pass either a ready ExperimentSpec or spec fields, not both"
+            )
+        return spec
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        root = None if self.cache is None else str(self.cache.root)
+        return f"<Session workers={self.workers} cache={root!r}>"

@@ -4,9 +4,10 @@ The Fig 7/8 runners are thin :class:`~repro.engine.ExperimentSpec`
 sweeps over the unified engine: every run goes down the same
 instrumented path, and the per-run :class:`~repro.engine.RunReport`
 (cross-layer metrics, Chrome-trace export) rides along next to the
-app-level timings the figures need.  Every runner takes ``workers`` and
-fans independent runs out over :meth:`~repro.engine.Engine.run_many`
-(results are bit-identical to a serial sweep).
+app-level timings the figures need.  Every runner sweeps through a
+:class:`~repro.api.Session` (``session=`` injects one; the legacy
+``engine``/``workers``/``cache`` keywords build one), so results are
+bit-identical to a serial sweep at any worker count.
 """
 
 from __future__ import annotations
@@ -17,6 +18,16 @@ from typing import Dict, List, Optional, Tuple
 from ..apps.xpic import Mode, RunResult
 from ..engine import Engine, ExperimentSpec, RunReport
 from ..perfmodel import parallel_efficiency
+
+
+def _session(session, engine, workers, cache):
+    """The Session a runner sweeps through (built from legacy kwargs
+    when the caller did not inject one)."""
+    if session is not None:
+        return session
+    from ..api import Session
+
+    return Session(cache=cache, workers=workers, engine=engine)
 
 __all__ = ["Fig7Result", "Fig8Result", "run_fig7", "run_fig8", "FIG78_STEPS"]
 
@@ -109,22 +120,23 @@ def run_fig7(
     fault_plan: Optional[dict] = None,
     mtbf_s: Optional[float] = None,
     cache=None,
+    session=None,
 ) -> Fig7Result:
     """Run the three single-node experiments of Fig 7.
 
     ``fault_plan`` (a FaultPlan or its dict form) / ``mtbf_s`` inject
     the same fault schedule into every run — Fig 7 under failures.
     ``cache`` (a :class:`~repro.cache.ResultCache` or directory path)
-    memoizes the runs content-addressed by spec."""
-    engine = engine or Engine()
+    memoizes the runs content-addressed by spec.  ``session`` injects a
+    ready :class:`~repro.api.Session` (the other engine/workers/cache
+    keywords are then ignored)."""
+    session = _session(session, engine, workers, cache)
     modes = list(Mode)
-    sweep = engine.run_many(
+    sweep = session.sweep(
         [
             experiment_spec(mode, steps, fault_plan=fault_plan, mtbf_s=mtbf_s)
             for mode in modes
-        ],
-        workers=workers,
-        cache=cache,
+        ]
     )
     reports = dict(zip(modes, sweep.reports))
     return Fig7Result(
@@ -140,14 +152,16 @@ def run_fig8(
     fault_plan: Optional[dict] = None,
     mtbf_s: Optional[float] = None,
     cache=None,
+    session=None,
 ) -> Fig8Result:
     """Run the full scaling sweep of Fig 8 (3 modes x node counts).
 
     ``fault_plan`` / ``mtbf_s`` inject the same fault schedule into
-    every run of the sweep; ``cache`` memoizes each run by spec."""
-    engine = engine or Engine()
+    every run of the sweep; ``cache`` memoizes each run by spec;
+    ``session`` injects a ready :class:`~repro.api.Session`."""
+    session = _session(session, engine, workers, cache)
     keys = [(mode, n) for mode in Mode for n in node_counts]
-    sweep = engine.run_many(
+    sweep = session.sweep(
         [
             experiment_spec(
                 mode,
@@ -157,9 +171,7 @@ def run_fig8(
                 mtbf_s=mtbf_s,
             )
             for mode, n in keys
-        ],
-        workers=workers,
-        cache=cache,
+        ]
     )
     reports = dict(zip(keys, sweep.reports))
     return Fig8Result(

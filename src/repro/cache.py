@@ -176,9 +176,16 @@ class ResultCache:
     def prune(self, max_bytes: Optional[int] = None) -> dict:
         """Evict entries, oldest first, until ``max_bytes`` remain.
 
-        ``max_bytes=None`` (or 0) clears the store.  Returns
+        ``max_bytes=None`` (or 0) empties the store outright — an
+        explicit clear, never a byte-budget underflow.  A negative
+        budget is a caller bug and raises ``ValueError``.  Returns
         ``{"removed": n, "freed_bytes": b, "kept": m}``.
         """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(
+                f"max_bytes cannot be negative (got {max_bytes}); "
+                "use max_bytes=0 (or None) to clear the store"
+            )
         paths = list(self._entry_paths())
         # oldest first; path as tie-break keeps eviction deterministic
         paths.sort(key=lambda p: (p.stat().st_mtime, str(p)))

@@ -6,13 +6,15 @@ Usage::
     python -m repro sweep --modes cluster,booster,cb --nodes 1,2,4,8 \
         --workers 4                   # parallel sweep of independent runs
     python -m repro tune --steps 200  # autotune the C/B partition
+    python -m repro serve --jobdir .jobs --workers 4   # experiment service
+    python -m repro submit --jobdir .jobs --mode cb --steps 100 --wait
     python -m repro cache stats --dir .repro-cache   # manage the store
     python -m repro table1            # Table I from the machine model
     python -m repro fig3              # fabric bandwidth/latency curves
     python -m repro fig7 [--steps N]  # single-node mode comparison
     python -m repro fig8 [--steps N]  # scaling sweep
     python -m repro report [FILE]     # benchmark digest, or one saved
-                                      # RunReport / SweepReport JSON
+                                      # Run / Sweep / Tune report JSON
     python -m repro faults --mtbf 3600 --horizon 7200 --targets bn00,bn01 \
         --out plan.json               # draw / inspect a fault plan
     python -m repro all               # everything above
@@ -20,9 +22,15 @@ Usage::
 ``run``, ``fig7`` and ``fig8`` accept ``--fault-plan FILE`` and/or
 ``--mtbf SECONDS`` to execute under fault injection (checkpoint/restart
 through the resilient driver; the report gains a resiliency section).
-``run``, ``sweep``, ``tune``, ``fig7`` and ``fig8`` accept
+``run``, ``sweep``, ``tune``, ``serve``, ``fig7`` and ``fig8`` accept
 ``--cache DIR`` to memoize runs in a content-addressed result store —
 a repeated spec loads its stored report instead of simulating again.
+
+``serve`` runs the long-running experiment service over a file-based
+job directory; ``submit`` drops requests into it (duplicate in-flight
+specs coalesce onto one execution, cached specs are answered without
+simulating).  Every experiment-running command routes through the
+:class:`repro.api.Session` facade.
 """
 
 from __future__ import annotations
@@ -31,17 +39,18 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .api import Session
 from .apps.xpic import Mode
-from .autotune import TuneReport, TuneSpace, tune
+from .autotune import TuneReport, TuneSpace
 from .cache import ResultCache
 from .engine import (
     MACHINE_PRESETS,
-    SWEEP_SCHEMA,
     Engine,
     ExperimentSpec,
     RunReport,
     SweepReport,
 )
+from .report import report_from_dict
 from .bench import (
     FIG78_STEPS,
     fig3_series,
@@ -322,9 +331,9 @@ def render_cache_stats(stats: dict, title: str = "Result cache") -> str:
     return render_table(["Metric", "Value"], rows, title=title)
 
 
-def cmd_run(args) -> str:
-    """Run one experiment through the engine and print its report."""
-    spec = ExperimentSpec(
+def _spec_from_args(args) -> ExperimentSpec:
+    """Build the ExperimentSpec the run/submit spec flags describe."""
+    return ExperimentSpec(
         preset=args.preset,
         app=args.app,
         mode=args.mode,
@@ -333,11 +342,18 @@ def cmd_run(args) -> str:
         overlap=not args.no_overlap,
         swap_placement=args.swap_placement,
         seed=args.seed,
-        trace=args.trace or bool(args.chrome_trace),
+        trace=getattr(args, "trace", False)
+        or bool(getattr(args, "chrome_trace", None)),
         **_fault_kwargs(args),
     )
-    cache = ResultCache(args.cache) if getattr(args, "cache", None) else None
-    report = Engine().run(spec, cache=cache)
+
+
+def cmd_run(args) -> str:
+    """Run one experiment through a Session and print its report."""
+    spec = _spec_from_args(args)
+    session = Session(cache=getattr(args, "cache", None))
+    cache = session.cache
+    report = session.run(spec)
     if args.json:
         report.save(args.json)
     if args.chrome_trace:
@@ -404,7 +420,7 @@ def render_sweep_report(sweep: SweepReport, title: str = "") -> str:
 
 
 def cmd_sweep(args) -> str:
-    """Run a cross product of modes x node counts through run_many."""
+    """Run a cross product of modes x node counts through a Session."""
     try:
         modes = [m.strip() for m in args.modes.split(",") if m.strip()]
         nodes = [int(n) for n in args.nodes.split(",") if n.strip()]
@@ -412,20 +428,21 @@ def cmd_sweep(args) -> str:
         raise ValueError(f"bad sweep axis: {exc}") from None
     if not modes or not nodes:
         raise ValueError("sweep needs at least one mode and one node count")
-    specs = [
-        ExperimentSpec(
+    session = Session(
+        cache=getattr(args, "cache", None), workers=args.workers
+    )
+    specs = session.specs(
+        base=dict(
             preset=args.preset,
             app=args.app,
-            mode=mode,
             steps=args.steps,
-            nodes_per_solver=n,
             seed=args.seed,
-        )
-        for mode in modes
-        for n in nodes
-    ]
-    cache = ResultCache(args.cache) if getattr(args, "cache", None) else None
-    sweep = Engine().run_many(specs, workers=args.workers, cache=cache)
+        ),
+        mode=modes,
+        nodes_per_solver=nodes,
+    )
+    cache = session.cache
+    sweep = session.sweep(specs)
     if args.json:
         sweep.save(args.json)
     out = [
@@ -450,18 +467,32 @@ def cmd_sweep(args) -> str:
     return "\n".join(out)
 
 
+def render_report(report) -> str:
+    """Render any registered report type, dispatching on its class.
+
+    The one renderer behind ``repro report FILE``: RunReport,
+    SweepReport, and TuneReport documents all come through here.
+    """
+    if isinstance(report, SweepReport):
+        return render_sweep_report(report)
+    if isinstance(report, TuneReport):
+        return render_tune_report(report)
+    if isinstance(report, RunReport):
+        return render_run_report(report)
+    raise ValueError(
+        f"no renderer for report type {type(report).__name__}"
+    )
+
+
 def cmd_report(args) -> str:
-    """Render a saved RunReport/SweepReport, or compose archived
+    """Render any saved schema-tagged report, or compose archived
     benchmark tables."""
     import json as _json
     import pathlib
 
     if getattr(args, "file", None):
         doc = _json.loads(pathlib.Path(args.file).read_text())
-        schema = doc.get("schema") if isinstance(doc, dict) else None
-        if schema == SWEEP_SCHEMA:
-            return render_sweep_report(SweepReport.from_dict(doc))
-        return render_run_report(RunReport.from_dict(doc))
+        return render_report(report_from_dict(doc))
 
     results = pathlib.Path("benchmarks/_results")
     if not results.is_dir():
@@ -546,7 +577,8 @@ def cmd_tune(args) -> str:
     except ValueError as exc:
         raise ValueError(f"bad --nodes list: {exc}") from None
     space = TuneSpace(node_counts=node_counts)
-    report = tune(
+    session = Session(cache=args.cache, workers=args.workers)
+    report = session.tune(
         space=space,
         steps=args.steps,
         preset=args.preset,
@@ -554,8 +586,6 @@ def cmd_tune(args) -> str:
         population=args.population,
         eta=args.eta,
         min_steps=args.min_steps,
-        workers=args.workers,
-        cache=args.cache,
         seed=args.seed,
         baseline=not args.no_baseline,
     )
@@ -564,6 +594,94 @@ def cmd_tune(args) -> str:
         report.save(args.json)
         text += f"\n\ntune report JSON written to {args.json}"
     return text
+
+
+def render_service_metrics(stats: dict, title: str = "Experiment service") -> str:
+    """Human-readable table of one service metrics snapshot."""
+    wait = stats.get("wait", {})
+    run = stats.get("run", {})
+
+    def _lat(h: dict) -> str:
+        if not h.get("count"):
+            return "-"
+        return (
+            f"n={h['count']} p50={h.get('p50_s', 0.0) * 1e3:.1f}ms "
+            f"p90={h.get('p90_s', 0.0) * 1e3:.1f}ms "
+            f"p99={h.get('p99_s', 0.0) * 1e3:.1f}ms"
+        )
+
+    rows = [
+        ("submitted", str(stats.get("submitted", 0))),
+        ("accepted", str(stats.get("accepted", 0))),
+        ("coalesced", str(stats.get("coalesced", 0))),
+        ("cache hits", str(stats.get("cache_hits", 0))),
+        ("rejected (queue full)", str(stats.get("rejected", 0))),
+        ("executed / completed / failed",
+         f"{stats.get('executed', 0)} / {stats.get('completed', 0)} / "
+         f"{stats.get('failed', 0)}"),
+        ("requeued (worker crash)", str(stats.get("requeued", 0))),
+        ("batches", str(stats.get("batches", 0))),
+        ("queue depth (now / peak)",
+         f"{stats.get('queue_depth', 0)} / "
+         f"{stats.get('peak_queue_depth', 0)}"),
+        ("in flight (now / peak)",
+         f"{stats.get('in_flight', 0)} / {stats.get('peak_in_flight', 0)}"),
+        ("wait latency", _lat(wait)),
+        ("run latency", _lat(run)),
+    ]
+    return render_table(["Metric", "Value"], rows, title=title)
+
+
+def cmd_serve(args) -> str:
+    """Run the experiment service over a file-based job directory."""
+    from .serve import serve_jobdir
+
+    session = Session(
+        cache=getattr(args, "cache", None), workers=args.workers
+    )
+    service = session.serve(max_queue=args.max_queue, autostart=not args.once)
+    try:
+        stats = serve_jobdir(
+            args.jobdir,
+            service=service,
+            poll_s=args.poll,
+            max_seconds=args.max_seconds,
+            once=args.once,
+            log=None if args.quiet else (lambda msg: print(msg, flush=True)),
+        )
+    finally:
+        service.shutdown(drain=True)
+    return render_service_metrics(
+        stats, title=f"Experiment service ({args.jobdir})"
+    )
+
+
+def cmd_submit(args) -> str:
+    """Submit one experiment request to a running service's job dir."""
+    from .serve import submit_job, wait_result
+
+    spec = _spec_from_args(args)
+    job_id = submit_job(
+        args.jobdir, spec, priority=args.priority, client=args.client
+    )
+    if not args.wait:
+        return f"submitted {job_id} to {args.jobdir}"
+    result = wait_result(args.jobdir, job_id, timeout=args.timeout)
+    lines = [
+        f"job {job_id}: {result['status']}"
+        + (" (cache hit)" if result.get("cache_hit") else "")
+        + (" (coalesced)" if result.get("coalesced") else "")
+    ]
+    if result["status"] == "done":
+        report = RunReport.from_dict(result["report"])
+        if args.json:
+            report.save(args.json)
+            lines.append(f"report JSON written to {args.json}")
+        lines.append("")
+        lines.append(render_run_report(report))
+    else:
+        lines.append(f"error: {result.get('error')}")
+    return "\n".join(lines)
 
 
 def cmd_cache(args) -> str:
@@ -626,54 +744,79 @@ def build_parser() -> argparse.ArgumentParser:
         "file",
         nargs="?",
         default=None,
-        help="RunReport JSON file written by `repro run --json` "
+        help="any schema-tagged report JSON — run, sweep, or tune "
         "(omit to compose benchmarks/_results)",
     )
+    def add_spec_args(sp) -> None:
+        """The one-experiment spec flags `run` and `submit` share."""
+        sp.add_argument(
+            "--preset",
+            default="deep-er",
+            choices=sorted(MACHINE_PRESETS),
+            help="machine preset (default deep-er)",
+        )
+        sp.add_argument(
+            "--app",
+            default="xpic",
+            choices=["xpic", "seismic"],
+            help="application driver (default xpic)",
+        )
+        sp.add_argument(
+            "--mode",
+            default="cb",
+            help="placement: cluster / booster / cb (xpic), "
+            "cluster / booster / split (seismic)",
+        )
+        sp.add_argument("--steps", type=int, default=100, help="time steps")
+        sp.add_argument(
+            "--nodes", type=int, default=1, help="nodes per solver (default 1)"
+        )
+        sp.add_argument(
+            "--seed", type=int, default=20180521, help="workload RNG seed"
+        )
+        sp.add_argument(
+            "--no-overlap",
+            action="store_true",
+            help="disable communication/compute overlap (xpic)",
+        )
+        sp.add_argument(
+            "--swap-placement",
+            action="store_true",
+            help="swap solver placement: fields on Booster, "
+            "particles on Cluster",
+        )
+        sp.add_argument(
+            "--fault-plan",
+            metavar="FILE",
+            default=None,
+            help="inject the faults of a plan JSON (see `repro faults`)",
+        )
+        sp.add_argument(
+            "--mtbf",
+            type=float,
+            default=None,
+            help="stream Poisson node crashes at this system MTBF [s]",
+        )
+        sp.add_argument(
+            "--ckpt-interval",
+            type=float,
+            default=None,
+            help="force the checkpoint cadence [s] (default: Young/Daly "
+            "optimum when --mtbf is given)",
+        )
+        sp.add_argument(
+            "--json", metavar="FILE", default=None,
+            help="write the RunReport JSON",
+        )
+
     rn = sub.add_parser(
         "run", help="run one instrumented experiment through the engine"
     )
-    rn.add_argument(
-        "--preset",
-        default="deep-er",
-        choices=sorted(MACHINE_PRESETS),
-        help="machine preset (default deep-er)",
-    )
-    rn.add_argument(
-        "--app",
-        default="xpic",
-        choices=["xpic", "seismic"],
-        help="application driver (default xpic)",
-    )
-    rn.add_argument(
-        "--mode",
-        default="cb",
-        help="placement: cluster / booster / cb (xpic), "
-        "cluster / booster / split (seismic)",
-    )
-    rn.add_argument("--steps", type=int, default=100, help="time steps")
-    rn.add_argument(
-        "--nodes", type=int, default=1, help="nodes per solver (default 1)"
-    )
-    rn.add_argument(
-        "--seed", type=int, default=20180521, help="workload RNG seed"
-    )
-    rn.add_argument(
-        "--no-overlap",
-        action="store_true",
-        help="disable communication/compute overlap (xpic)",
-    )
-    rn.add_argument(
-        "--swap-placement",
-        action="store_true",
-        help="swap solver placement: fields on Booster, particles on Cluster",
-    )
+    add_spec_args(rn)
     rn.add_argument(
         "--trace",
         action="store_true",
         help="record per-phase intervals (implied by --chrome-trace)",
-    )
-    rn.add_argument(
-        "--json", metavar="FILE", default=None, help="write RunReport JSON"
     )
     rn.add_argument(
         "--chrome-trace",
@@ -687,24 +830,91 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="memoize the run in a content-addressed result store",
     )
-    rn.add_argument(
-        "--fault-plan",
-        metavar="FILE",
-        default=None,
-        help="inject the faults of a plan JSON (see `repro faults`)",
+    sv = sub.add_parser(
+        "serve",
+        help="serve experiment requests from a file-based job directory "
+        "(queue/coalesce/batch over a shared worker pool)",
     )
-    rn.add_argument(
-        "--mtbf",
+    sv.add_argument(
+        "--jobdir",
+        metavar="DIR",
+        required=True,
+        help="the job directory clients submit into",
+    )
+    sv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers executing batches (default 1)",
+    )
+    sv.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="answer repeated specs from a content-addressed store",
+    )
+    sv.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admission bound; excess requests stay queued on disk "
+        "(default 64)",
+    )
+    sv.add_argument(
+        "--once",
+        action="store_true",
+        help="ingest everything pending, drain, flush results, exit "
+        "(deterministic mode for CI)",
+    )
+    sv.add_argument(
+        "--max-seconds",
         type=float,
         default=None,
-        help="stream Poisson node crashes at this system MTBF [s]",
+        help="stop serving after this long (default: run until killed)",
     )
-    rn.add_argument(
-        "--ckpt-interval",
+    sv.add_argument(
+        "--poll",
         type=float,
-        default=None,
-        help="force the checkpoint cadence [s] (default: Young/Daly "
-        "optimum when --mtbf is given)",
+        default=0.1,
+        help="job-directory scan interval [s] (default 0.1)",
+    )
+    sv.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request progress lines",
+    )
+    sb = sub.add_parser(
+        "submit",
+        help="submit one experiment request to a running `repro serve`",
+    )
+    add_spec_args(sb)
+    sb.add_argument(
+        "--jobdir",
+        metavar="DIR",
+        required=True,
+        help="the served job directory to submit into",
+    )
+    sb.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="scheduling priority (higher dispatches first, default 0)",
+    )
+    sb.add_argument(
+        "--client",
+        default="cli",
+        help="client id for fair-share scheduling (default cli)",
+    )
+    sb.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the result file appears and render it",
+    )
+    sb.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="--wait timeout [s] (default 60)",
     )
     sw = sub.add_parser(
         "sweep",
@@ -943,6 +1153,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "sweep": cmd_sweep,
         "tune": cmd_tune,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
         "cache": cmd_cache,
         "table1": cmd_table1,
         "fig3": cmd_fig3,
@@ -955,8 +1167,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     }[args.command]
     try:
         print(handler(args))
-    except (ValueError, FileNotFoundError) as exc:
-        # bad spec values / missing report files: a message, not a trace
+    except (ValueError, FileNotFoundError, TimeoutError) as exc:
+        # bad spec values, missing report files, or a submit --wait
+        # that outlived its timeout: a message, not a trace
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

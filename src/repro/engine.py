@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -220,6 +221,44 @@ class ExperimentSpec:
         d["config"] = _config_from_dict(d.get("config"))
         d["machine_overrides"] = dict(d.get("machine_overrides") or {})
         return cls(**d)
+
+
+# -- keyword-only construction (deprecation shim) ---------------------------
+# ExperimentSpec is keyword-only as of 1.3: positional construction
+# still works through this shim but warns and will be removed in 2.0
+# (see docs/ARCHITECTURE.md, "Experiment service & the repro.api
+# facade").  The shim wraps the dataclass __init__ after the class is
+# built so dataclasses.replace/pickle/asdict behave unchanged.
+_SPEC_FIELD_NAMES = tuple(f.name for f in dataclasses.fields(ExperimentSpec))
+_spec_dataclass_init = ExperimentSpec.__init__
+
+
+def _spec_kwonly_init(self, *args, **kwargs):
+    """Keyword-only ``ExperimentSpec`` constructor (positional shim)."""
+    if args:
+        warnings.warn(
+            "positional ExperimentSpec arguments are deprecated and will "
+            "be removed in repro 2.0; pass every field by keyword, e.g. "
+            "ExperimentSpec(preset='deep-er', mode='C+B', steps=100)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(args) > len(_SPEC_FIELD_NAMES):
+            raise TypeError(
+                f"ExperimentSpec takes at most {len(_SPEC_FIELD_NAMES)} "
+                f"arguments ({len(args)} given)"
+            )
+        for name, value in zip(_SPEC_FIELD_NAMES, args):
+            if name in kwargs:
+                raise TypeError(
+                    f"ExperimentSpec got multiple values for {name!r}"
+                )
+            kwargs[name] = value
+    _spec_dataclass_init(self, **kwargs)
+
+
+_spec_kwonly_init.__wrapped__ = _spec_dataclass_init
+ExperimentSpec.__init__ = _spec_kwonly_init
 
 
 class _ResultView:
@@ -536,7 +575,8 @@ class Engine:
         return spec.build_machine()
 
     def run_many(
-        self, specs, workers: int = 1, chunksize: int = 1, cache=None
+        self, specs, workers: int = 1, chunksize: int = 1, cache=None,
+        pool=None,
     ) -> SweepReport:
         """Run a sweep of independent specs, optionally in parallel.
 
@@ -559,9 +599,20 @@ class Engine:
         ``machine_overrides``) runs the misses in-process; only then do
         their reports keep in-memory ``run_result``/``tracer`` handles
         (pooled reports still expose ``result_view``).
+
+        ``pool`` (an already-running ``ProcessPoolExecutor``) reuses a
+        caller-owned executor instead of spawning one per sweep — the
+        experiment service shares one pool across every batch.  The
+        caller owns the pool's lifecycle **and its crash recovery**: a
+        ``BrokenProcessPool`` from an external pool propagates instead
+        of triggering the serial-rerun fallback, so the owner can
+        recycle the pool and requeue.
         """
         if workers < 1:
-            raise ValueError("workers must be >= 1")
+            raise ValueError(
+                f"workers must be >= 1 (got {workers}); use workers=1 "
+                "for an in-process serial sweep"
+            )
         cache = _coerce_cache(cache)
         specs = list(specs)
         t0 = time.perf_counter()  # wall-clock-ok: host-side telemetry only
@@ -571,7 +622,9 @@ class Engine:
                 reports[i] = cache.get(spec)
         misses = [i for i, r in enumerate(reports) if r is None]
         payloads = [specs[i].to_dict() for i in misses]
-        use_pool = workers > 1 and len(misses) > 1
+        use_pool = bool(misses) and (
+            pool is not None or (workers > 1 and len(misses) > 1)
+        )
         if use_pool:
             import pickle
 
@@ -579,16 +632,24 @@ class Engine:
                 pickle.dumps(payloads)
             except Exception:
                 use_pool = False  # unpicklable spec: serial fallback
-        if use_pool:
+        if use_pool and pool is not None:
+            # external executor: the caller owns lifecycle and crash
+            # recovery, so BrokenProcessPool propagates
+            dicts = list(
+                pool.map(_run_spec_payload, payloads, chunksize=chunksize)
+            )
+            for i, d in zip(misses, dicts):
+                reports[i] = RunReport.from_dict(d)
+        elif use_pool:
             from concurrent.futures import ProcessPoolExecutor
             from concurrent.futures.process import BrokenProcessPool
 
             try:
                 with ProcessPoolExecutor(
                     max_workers=min(workers, len(misses))
-                ) as pool:
+                ) as owned_pool:
                     dicts = list(
-                        pool.map(
+                        owned_pool.map(
                             _run_spec_payload, payloads, chunksize=chunksize
                         )
                     )

@@ -1,7 +1,8 @@
 """Cross-layer instrumentation hub.
 
 One :class:`MetricsHub` observes every layer of a run — simulator,
-fabric, MPI runtime, and the app-level :class:`~repro.sim.Tracer` — and
+fabric, MPI runtime, the app-level :class:`~repro.sim.Tracer`, the
+result cache, and the experiment service — and
 produces a single nested metrics snapshot.  Collection is pull-based:
 the layers maintain cheap counters on their own hot paths (events
 processed, per-link bytes/messages/stall time, per-context traffic) and
@@ -24,16 +25,19 @@ class MetricsHub:
     """Collects per-layer metrics from an attached simulation stack."""
 
     def __init__(
-        self, sim=None, fabric=None, runtime=None, tracer=None, cache=None
+        self, sim=None, fabric=None, runtime=None, tracer=None, cache=None,
+        service=None,
     ):
         self.sim = sim
         self.fabric = fabric
         self.runtime = runtime
         self.tracer = tracer
         self.cache = cache
+        self.service = service
 
     def attach(
-        self, sim=None, fabric=None, runtime=None, tracer=None, cache=None
+        self, sim=None, fabric=None, runtime=None, tracer=None, cache=None,
+        service=None,
     ) -> "MetricsHub":
         """Attach (or replace) observed layers; returns self."""
         if sim is not None:
@@ -46,6 +50,8 @@ class MetricsHub:
             self.tracer = tracer
         if cache is not None:
             self.cache = cache
+        if service is not None:
+            self.service = service
         return self
 
     # -- per-layer snapshots ----------------------------------------------
@@ -110,6 +116,14 @@ class MetricsHub:
             return {}
         return self.cache.stats()
 
+    def service_metrics(self) -> dict:
+        """Live serving-layer metrics (queue depth, in-flight jobs,
+        hit/coalesce/reject counters, wait/run latency histograms)
+        from an attached :class:`~repro.serve.ExperimentService`."""
+        if self.service is None:
+            return {}
+        return self.service.stats()
+
     def snapshot(self) -> dict:
         """One nested dict with every layer's metrics."""
         return {
@@ -118,4 +132,5 @@ class MetricsHub:
             "mpi": self.mpi_metrics(),
             "phases": self.phase_metrics(),
             "cache": self.cache_metrics(),
+            "service": self.service_metrics(),
         }

@@ -1,0 +1,114 @@
+"""Unified report protocol: one schema-tagged document family.
+
+Every structured outcome in the stack — a single run
+(:class:`~repro.engine.RunReport`), a sweep
+(:class:`~repro.engine.SweepReport`), a partition tune
+(:class:`~repro.autotune.TuneReport`) — serializes to a JSON document
+whose ``schema`` tag names its type.  This module is the one place
+that family is registered, so any consumer can round-trip a report
+without knowing its type up front::
+
+    from repro.report import load_report
+
+    report = load_report("something.json")   # Run/Sweep/TuneReport
+    print(report.schema)
+
+``repro report FILE`` dispatches through the same registry, so one
+CLI renderer serves every document type.
+
+Every member satisfies the :class:`Report` protocol: a ``schema``
+tag plus ``to_dict``/``from_dict``/``to_json``/``from_json``/
+``save``/``load``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Protocol, Type, runtime_checkable
+
+__all__ = [
+    "Report",
+    "report_schemas",
+    "report_type",
+    "report_from_dict",
+    "report_from_json",
+    "load_report",
+]
+
+
+@runtime_checkable
+class Report(Protocol):
+    """Structural interface every report type satisfies.
+
+    A report is a schema-tagged, JSON-round-trippable document: the
+    ``schema`` attribute names its type and ``to_dict``/``from_dict``
+    (plus the json/file conveniences) move it across process and disk
+    boundaries bit-identically.
+    """
+
+    schema: str
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (inverse of ``from_dict``)."""
+        ...  # pragma: no cover - protocol
+
+    def to_json(self, indent=None) -> str:
+        """Serialize :meth:`to_dict` with stable key order."""
+        ...  # pragma: no cover - protocol
+
+    def save(self, path) -> None:
+        """Write the report as JSON to ``path``."""
+        ...  # pragma: no cover - protocol
+
+
+def report_schemas() -> Dict[str, Type]:
+    """The registry: schema tag -> report class (imported lazily so
+    this module stays import-cycle-free)."""
+    from .autotune import TUNE_SCHEMA, TuneReport
+    from .engine import (
+        REPORT_SCHEMA,
+        SWEEP_SCHEMA,
+        RunReport,
+        SweepReport,
+    )
+
+    return {
+        REPORT_SCHEMA: RunReport,
+        SWEEP_SCHEMA: SweepReport,
+        TUNE_SCHEMA: TuneReport,
+    }
+
+
+def report_type(schema: str) -> Type:
+    """The report class registered under a schema tag."""
+    registry = report_schemas()
+    if schema not in registry:
+        raise ValueError(
+            f"unknown report schema {schema!r} "
+            f"(known: {sorted(registry)})"
+        )
+    return registry[schema]
+
+
+def report_from_dict(doc: dict):
+    """Rebuild any registered report from its dict form, dispatching
+    on the ``schema`` tag."""
+    if not isinstance(doc, dict):
+        raise ValueError("a report document must be a JSON object")
+    schema = doc.get("schema")
+    if schema is None:
+        raise ValueError(
+            "document carries no 'schema' tag — not a repro report"
+        )
+    return report_type(schema).from_dict(doc)
+
+
+def report_from_json(text: str):
+    """Rebuild any registered report from JSON text."""
+    return report_from_dict(json.loads(text))
+
+
+def load_report(path):
+    """Load any registered report type from a JSON file."""
+    return report_from_json(Path(path).read_text())

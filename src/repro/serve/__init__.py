@@ -1,0 +1,44 @@
+"""The experiment service layer: queue, coalesce, batch, serve.
+
+One long-running :class:`ExperimentService` front door multiplexes
+many concurrent clients onto a shared pool of simulator workers:
+
+* :mod:`repro.serve.queue`   — jobs + bounded fair-share priority queue
+  (typed :class:`QueueFull` backpressure)
+* :mod:`repro.serve.service` — coalescing, cache short-circuit,
+  adaptive batching, crashed-worker requeue, graceful drain
+* :mod:`repro.serve.metrics` — live service counters and wait/run
+  latency histograms
+* :mod:`repro.serve.filejob` — file-based job directory protocol
+  behind ``repro serve`` / ``repro submit``
+
+Programmatic entry point: :meth:`repro.api.Session.serve`.
+"""
+
+from .filejob import (
+    JOB_REQUEST_SCHEMA,
+    JOB_RESULT_SCHEMA,
+    SERVICE_METRICS_SCHEMA,
+    serve_jobdir,
+    submit_job,
+    wait_result,
+)
+from .metrics import LatencyHistogram, ServiceMetrics
+from .queue import Job, JobQueue, JobState, QueueFull
+from .service import ExperimentService
+
+__all__ = [
+    "ExperimentService",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "QueueFull",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "serve_jobdir",
+    "submit_job",
+    "wait_result",
+    "JOB_REQUEST_SCHEMA",
+    "JOB_RESULT_SCHEMA",
+    "SERVICE_METRICS_SCHEMA",
+]

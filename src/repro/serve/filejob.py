@@ -1,0 +1,267 @@
+"""File-based job directory protocol: `repro serve` / `repro submit`.
+
+The wire between service and clients is a plain directory — portable,
+inspectable, and dependency-free::
+
+    jobdir/
+      queue/<id>.json     one request per file (atomic rename writes)
+      results/<id>.json   the resolved report (or failure) per request
+      metrics.json        the service's live metrics snapshot
+
+A client drops a request with :func:`submit_job` (or ``repro submit``)
+and polls :func:`wait_result`; the server side (:func:`serve_jobdir`,
+``repro serve``) ingests pending requests into an in-process
+:class:`~repro.serve.ExperimentService`, writes results as jobs
+resolve, and keeps ``metrics.json`` fresh.  Requests that hit the
+service's admission bound stay in ``queue/`` untouched and are retried
+on a later scan — the directory itself becomes the overflow buffer, so
+backpressure never loses a request.
+
+Duplicate requests (same spec, hence same content-addressed key)
+coalesce inside the service: each request still gets its own result
+file, all fanned out from the one execution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from ..engine import ExperimentSpec
+from .queue import Job, QueueFull
+from .service import ExperimentService
+
+__all__ = [
+    "JOB_REQUEST_SCHEMA",
+    "JOB_RESULT_SCHEMA",
+    "SERVICE_METRICS_SCHEMA",
+    "submit_job",
+    "wait_result",
+    "serve_jobdir",
+]
+
+#: schema tag of one queued request file
+JOB_REQUEST_SCHEMA = "repro.job_request/1"
+
+#: schema tag of one result file
+JOB_RESULT_SCHEMA = "repro.job_result/1"
+
+#: schema tag of the metrics.json snapshot
+SERVICE_METRICS_SCHEMA = "repro.service_metrics/1"
+
+
+def _queue_dir(jobdir: Path) -> Path:
+    return jobdir / "queue"
+
+
+def _results_dir(jobdir: Path) -> Path:
+    return jobdir / "results"
+
+
+def _atomic_write(path: Path, payload: dict) -> None:
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True, indent=2))
+    os.replace(tmp, path)
+
+
+def submit_job(
+    jobdir,
+    spec: ExperimentSpec,
+    priority: int = 0,
+    client: str = "cli",
+    job_id: Optional[str] = None,
+) -> str:
+    """Drop one request into a job directory; returns the request id.
+
+    The request file is written atomically into ``jobdir/queue/`` and
+    named by submission time so a scanning server dispatches FIFO by
+    default (priority still reorders inside the service queue).
+    """
+    jobdir = Path(jobdir).expanduser()
+    _queue_dir(jobdir).mkdir(parents=True, exist_ok=True)
+    _results_dir(jobdir).mkdir(parents=True, exist_ok=True)
+    if job_id is None:
+        job_id = f"{time.time_ns():020d}-{uuid.uuid4().hex[:8]}"  # wall-clock-ok: request id only, never in results
+    _atomic_write(
+        _queue_dir(jobdir) / f"{job_id}.json",
+        {
+            "schema": JOB_REQUEST_SCHEMA,
+            "id": job_id,
+            "spec": spec.to_dict(),
+            "priority": priority,
+            "client": client,
+        },
+    )
+    return job_id
+
+
+def wait_result(
+    jobdir,
+    job_id: str,
+    timeout: float = 60.0,
+    poll_s: float = 0.05,
+) -> dict:
+    """Poll for one request's result file; returns its parsed JSON.
+
+    Raises :class:`TimeoutError` when no result appears in time.
+    """
+    path = _results_dir(Path(jobdir).expanduser()) / f"{job_id}.json"
+    deadline = time.monotonic() + timeout  # wall-clock-ok: host-side polling only
+    while True:
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            pass  # absent or mid-write: retry
+        if time.monotonic() >= deadline:  # wall-clock-ok: host-side polling only
+            raise TimeoutError(
+                f"no result for job {job_id!r} within {timeout}s"
+            )
+        time.sleep(poll_s)
+
+
+def _result_payload(job: Job, request_id: str, coalesced: bool) -> dict:
+    error = job.exception(timeout=0)
+    report = None if error is not None else job.result(timeout=0)
+    return {
+        "schema": JOB_RESULT_SCHEMA,
+        "id": request_id,
+        "status": "failed" if error is not None else "done",
+        "error": None if error is None else str(error),
+        "cache_hit": job.cache_hit,
+        "coalesced": coalesced,
+        "wait_s": job.wait_s,
+        "run_s": job.run_s,
+        "report": None if report is None else report.to_dict(),
+    }
+
+
+def serve_jobdir(
+    jobdir,
+    service: Optional[ExperimentService] = None,
+    engine=None,
+    cache=None,
+    workers: int = 1,
+    max_queue: int = 64,
+    poll_s: float = 0.1,
+    max_seconds: Optional[float] = None,
+    once: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Serve a job directory; returns the final metrics snapshot.
+
+    ``once=True`` ingests every pending request, drains the service,
+    flushes all results, and returns — the deterministic mode CI and
+    tests use (duplicates visible at ingest time always coalesce).
+    Otherwise the server polls ``jobdir/queue`` every ``poll_s``
+    seconds until ``max_seconds`` elapses (forever when None), then
+    drains gracefully.  ``metrics.json`` is refreshed after every scan
+    and on exit.
+    """
+    jobdir = Path(jobdir).expanduser()
+    _queue_dir(jobdir).mkdir(parents=True, exist_ok=True)
+    _results_dir(jobdir).mkdir(parents=True, exist_ok=True)
+    owns_service = service is None
+    if owns_service:
+        service = ExperimentService(
+            engine=engine,
+            cache=cache,
+            workers=workers,
+            max_queue=max_queue,
+            autostart=not once,
+        )
+    say = log or (lambda message: None)
+    # request id -> (job, coalesced-onto-earlier-request)
+    pending: Dict[str, Tuple[Job, bool]] = {}
+    seen_jobs: Dict[int, str] = {}
+
+    def ingest() -> int:
+        admitted = 0
+        for path in sorted(_queue_dir(jobdir).glob("*.json")):
+            try:
+                req = json.loads(path.read_text())
+                spec = ExperimentSpec.from_dict(req["spec"])
+                request_id = req.get("id", path.stem)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                say(f"rejecting malformed request {path.name}: {exc}")
+                _atomic_write(
+                    _results_dir(jobdir) / f"{path.stem}.json",
+                    {
+                        "schema": JOB_RESULT_SCHEMA,
+                        "id": path.stem,
+                        "status": "failed",
+                        "error": f"malformed request: {exc}",
+                        "cache_hit": False,
+                        "coalesced": False,
+                        "report": None,
+                    },
+                )
+                path.unlink(missing_ok=True)
+                continue
+            try:
+                job = service.submit(
+                    spec,
+                    priority=int(req.get("priority", 0)),
+                    client=str(req.get("client", "cli")),
+                )
+            except QueueFull:
+                # leave the file in place: the directory buffers the
+                # overflow and a later scan retries after the drain
+                say(f"queue full; deferring {path.name}")
+                break
+            coalesced = job.id in seen_jobs
+            seen_jobs.setdefault(job.id, request_id)
+            pending[request_id] = (job, coalesced)
+            path.unlink(missing_ok=True)
+            admitted += 1
+        return admitted
+
+    def flush() -> int:
+        written = 0
+        for request_id in [r for r, (j, _) in pending.items() if j.done()]:
+            job, coalesced = pending.pop(request_id)
+            _atomic_write(
+                _results_dir(jobdir) / f"{request_id}.json",
+                _result_payload(job, request_id, coalesced),
+            )
+            written += 1
+        return written
+
+    def write_metrics() -> dict:
+        snap = service.metrics_snapshot()
+        _atomic_write(
+            jobdir / "metrics.json",
+            {"schema": SERVICE_METRICS_SCHEMA, **snap},
+        )
+        return snap
+
+    try:
+        if once:
+            while True:
+                admitted = ingest()
+                service.start()
+                service.drain()
+                flush()
+                if admitted == 0 and not pending:
+                    break
+            return write_metrics()
+        start = time.monotonic()  # wall-clock-ok: host-side serving loop only
+        while True:
+            ingest()
+            flush()
+            write_metrics()
+            if (
+                max_seconds is not None
+                and time.monotonic() - start >= max_seconds  # wall-clock-ok: host-side serving loop only
+            ):
+                break
+            time.sleep(poll_s)
+        service.drain()
+        flush()
+        return write_metrics()
+    finally:
+        if owns_service:
+            service.shutdown(drain=True)

@@ -1,0 +1,136 @@
+"""Service-side observability: latency histograms and counters.
+
+The experiment service keeps its own live metrics — queue depth,
+in-flight jobs, admission/coalescing/cache counters, and wait/run
+latency distributions — separate from the per-run cross-layer metrics
+a :class:`~repro.engine.RunReport` carries.  Run metrics describe one
+simulation; service metrics describe the *serving* behaviour across
+many concurrent clients, which is what capacity planning needs.
+
+Histograms use fixed log-spaced buckets so recording is O(log buckets),
+allocation-free, and two snapshots are comparable regardless of what
+latencies were observed in between.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-spaced latency histogram (seconds).
+
+    Buckets double from ``lo`` upward; a sample beyond the last bound
+    lands in the overflow bucket.  Percentiles are resolved to the
+    upper bound of the bucket the rank falls in, clamped to the true
+    observed maximum, so ``p99 <= max`` always holds.
+    """
+
+    def __init__(self, lo: float = 1e-6, buckets: int = 40):
+        if lo <= 0 or buckets < 1:
+            raise ValueError("histogram needs lo > 0 and buckets >= 1")
+        self.bounds: List[float] = [lo * (2.0 ** i) for i in range(buckets)]
+        self.counts: List[int] = [0] * (buckets + 1)  # + overflow
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s: Optional[float] = None
+        self.max_s: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (negative samples clamp to zero)."""
+        s = max(0.0, float(seconds))
+        self.counts[bisect.bisect_left(self.bounds, s)] += 1
+        self.count += 1
+        self.total_s += s
+        self.min_s = s if self.min_s is None else min(self.min_s, s)
+        self.max_s = s if self.max_s is None else max(self.max_s, s)
+
+    @property
+    def mean_s(self) -> float:
+        """Arithmetic mean of every recorded sample (0.0 when empty)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``0 < q <= 1``) latency in seconds.
+
+        Resolved to the containing bucket's upper bound, clamped to
+        the observed maximum; 0.0 when no samples were recorded.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                bound = (
+                    self.bounds[i]
+                    if i < len(self.bounds)
+                    else self.max_s or self.bounds[-1]
+                )
+                return min(bound, self.max_s if self.max_s is not None else bound)
+        return self.max_s or 0.0  # pragma: no cover - defensive
+
+    def snapshot(self) -> dict:
+        """JSON-safe digest: count, mean/min/max, p50/p90/p99."""
+        return {
+            "count": self.count,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s or 0.0,
+            "max_s": self.max_s or 0.0,
+            "p50_s": self.percentile(0.50),
+            "p90_s": self.percentile(0.90),
+            "p99_s": self.percentile(0.99),
+        }
+
+
+class ServiceMetrics:
+    """Live counters of one :class:`~repro.serve.ExperimentService`.
+
+    All mutation happens under the service lock; a snapshot is a plain
+    dict safe to serialize or diff.  ``submitted`` counts every
+    ``submit()`` call and always equals
+    ``accepted + coalesced + cache_hits + rejected``.
+    """
+
+    def __init__(self):
+        self.submitted = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.coalesced = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.completed = 0
+        self.failed = 0
+        self.requeued = 0
+        self.batches = 0
+        self.peak_queue_depth = 0
+        self.peak_in_flight = 0
+        self.wait = LatencyHistogram()
+        self.run = LatencyHistogram()
+
+    def snapshot(self, queue_depth: int = 0, in_flight: int = 0) -> dict:
+        """JSON-safe dict of every counter plus latency digests."""
+        return {
+            "queue_depth": queue_depth,
+            "in_flight": in_flight,
+            "peak_queue_depth": self.peak_queue_depth,
+            "peak_in_flight": self.peak_in_flight,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "completed": self.completed,
+            "failed": self.failed,
+            "requeued": self.requeued,
+            "batches": self.batches,
+            "wait": self.wait.snapshot(),
+            "run": self.run.snapshot(),
+        }

@@ -1,0 +1,227 @@
+"""Jobs and the bounded fair-share priority queue of the service.
+
+A :class:`Job` is one admitted :class:`~repro.engine.ExperimentSpec`
+submission: a future-like handle clients block on (``job.result()``)
+while the service schedules and executes it.  Coalesced duplicate
+submissions share one Job, so a single execution fans its report out
+to every waiter.
+
+The :class:`JobQueue` is *bounded* — admission control is the
+backpressure mechanism of the service; when the queue is at depth the
+push raises a typed :class:`QueueFull` carrying a retry-after hint —
+and *fair-share ordered*: among the highest-priority pending jobs the
+client with the fewest recently-dispatched jobs goes first, so one
+chatty client cannot starve the rest of the machine.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["Job", "JobQueue", "JobState", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Typed admission rejection: the bounded job queue is at depth.
+
+    Carries ``depth``/``max_depth`` and a ``retry_after_s`` hint — the
+    service's estimate of when a slot frees up, derived from observed
+    worker latency — so clients can back off intelligently instead of
+    hammering the front door.
+    """
+
+    def __init__(self, depth: int, max_depth: int, retry_after_s: float):
+        super().__init__(
+            f"job queue is full ({depth}/{max_depth} queued); "
+            f"retry in ~{retry_after_s:.3f}s"
+        )
+        self.depth = depth
+        self.max_depth = max_depth
+        self.retry_after_s = retry_after_s
+
+
+class JobState(Enum):
+    """Lifecycle of one job inside the service."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Job:
+    """One admitted experiment submission; a waitable result handle.
+
+    Clients receive a Job from
+    :meth:`~repro.serve.ExperimentService.submit` and call
+    :meth:`result` to block until the report is ready.  Duplicate
+    in-flight submissions are **coalesced** onto the same Job
+    (``waiters`` counts them), so every waiter observes the single
+    execution's report bit-identically.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        spec,
+        key: str,
+        priority: int = 0,
+        client: str = "default",
+        submitted_s: float = 0.0,
+    ):
+        self.id = job_id
+        self.spec = spec
+        self.key = key
+        self.priority = priority
+        self.client = client
+        self.state = JobState.QUEUED
+        self.submitted_s = submitted_s
+        self.started_s: Optional[float] = None
+        self.finished_s: Optional[float] = None
+        self.retries = 0
+        self.waiters = 1
+        self.cache_hit = False
+        self._event = threading.Event()
+        self._report = None
+        self._error: Optional[BaseException] = None
+
+    # -- client side --------------------------------------------------------
+    def done(self) -> bool:
+        """True once the job has a report or a failure."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until resolved; the RunReport, or raises the failure.
+
+        Raises :class:`TimeoutError` when ``timeout`` seconds pass
+        without a resolution.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.id} not resolved within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._report
+
+    def exception(self, timeout: Optional[float] = None):
+        """Block until resolved; the failure exception, or None."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.id} not resolved within {timeout}s"
+            )
+        return self._error
+
+    # -- latency accounting --------------------------------------------------
+    @property
+    def wait_s(self) -> float:
+        """Seconds spent queued before dispatch (0.0 until dispatched)."""
+        if self.started_s is None:
+            return 0.0
+        return max(0.0, self.started_s - self.submitted_s)
+
+    @property
+    def run_s(self) -> float:
+        """Seconds spent executing (0.0 until finished)."""
+        if self.started_s is None or self.finished_s is None:
+            return 0.0
+        return max(0.0, self.finished_s - self.started_s)
+
+    # -- service side --------------------------------------------------------
+    def _resolve(self, report, now: float) -> None:
+        if self.started_s is None:
+            self.started_s = now
+        self.finished_s = now
+        self.state = JobState.DONE
+        self._report = report
+        self._event.set()
+
+    def _fail(self, error: BaseException, now: float) -> None:
+        if self.started_s is None:
+            self.started_s = now
+        self.finished_s = now
+        self.state = JobState.FAILED
+        self._error = error
+        self._event.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Job {self.id} {self.state.value} client={self.client!r} "
+            f"key={self.key[:8]}>"
+        )
+
+
+class JobQueue:
+    """Bounded, priority-then-fair-share ordered pending-job queue.
+
+    ``push`` rejects with :class:`QueueFull` once ``max_depth`` jobs
+    are pending (``retry_hint()`` supplies the retry-after estimate).
+    ``pop_batch`` selects jobs highest priority first; within a
+    priority level the client with the fewest dispatched jobs wins,
+    FIFO within a client — weighted fair queueing in its simplest
+    deterministic form.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        retry_hint: Optional[Callable[[int], float]] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self._retry_hint = retry_hint or (lambda depth: 0.0)
+        self._pending: List[Job] = []
+        self._dispatched: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def depth(self) -> int:
+        """Number of jobs currently pending."""
+        with self._lock:
+            return len(self._pending)
+
+    def push(self, job: Job) -> None:
+        """Admit one job, or raise :class:`QueueFull` at the bound."""
+        with self._lock:
+            if len(self._pending) >= self.max_depth:
+                depth = len(self._pending)
+                raise QueueFull(
+                    depth, self.max_depth, self._retry_hint(depth)
+                )
+            self._pending.append(job)
+
+    def requeue(self, job: Job) -> None:
+        """Re-admit an already-admitted job (after a worker crash).
+
+        Bypasses the depth bound: the job held a slot when it was
+        first admitted and rejecting it now would drop accepted work.
+        """
+        with self._lock:
+            job.state = JobState.QUEUED
+            self._pending.append(job)
+
+    def pop_batch(self, limit: int) -> List[Job]:
+        """Remove and return up to ``limit`` jobs in dispatch order."""
+        batch: List[Job] = []
+        with self._lock:
+            while self._pending and len(batch) < limit:
+                top = max(j.priority for j in self._pending)
+                job = min(
+                    (j for j in self._pending if j.priority == top),
+                    key=lambda j: (self._dispatched.get(j.client, 0), j.id),
+                )
+                self._pending.remove(job)
+                self._dispatched[job.client] = (
+                    self._dispatched.get(job.client, 0) + 1
+                )
+                batch.append(job)
+        return batch
+
+    def drain_pending(self) -> List[Job]:
+        """Remove and return every pending job (shutdown path)."""
+        with self._lock:
+            pending, self._pending = self._pending, []
+            return pending

@@ -1,0 +1,455 @@
+"""The long-running experiment service: one front door, many clients.
+
+An :class:`ExperimentService` accepts :class:`~repro.engine.ExperimentSpec`
+submissions from many concurrent clients and multiplexes them onto a
+shared pool of simulator workers — the serving-stack shape (queueing,
+dedup, batching, backpressure) the modular-supercomputing papers
+describe for one heterogeneous machine serving many differently-shaped
+workloads at once.
+
+The pipeline per submission:
+
+1. **Coalescing** — the spec's content-addressed key (from
+   :mod:`repro.cache`) is checked against the in-flight map; an
+   identical spec already queued or running merges onto the existing
+   :class:`~repro.serve.queue.Job`, whose single execution fans its
+   report out to every waiter bit-identically.
+2. **Cache** — a stored report is served immediately; cache hits never
+   enqueue and never touch the worker pool.
+3. **Admission control** — the bounded priority queue either admits
+   the job or rejects with a typed
+   :class:`~repro.serve.queue.QueueFull` carrying a retry-after hint.
+4. **Adaptive batching** — the scheduler groups queued jobs into
+   :meth:`~repro.engine.Engine.run_many` batches sized by the observed
+   per-spec latency (EWMA), targeting a fixed batch wall-time so
+   batches stay small when runs are slow and amortize pool overhead
+   when runs are fast.
+5. **Execution** — batches run on a persistent process pool
+   (``workers > 1``) or in-process; a crashed worker
+   (``BrokenProcessPool``) requeues the batch with bounded retries on
+   a fresh pool.
+
+Live service metrics (queue depth, in-flight, hit/coalesce/reject
+counters, wait/run latency histograms) are exported through
+:class:`~repro.instrument.MetricsHub` and
+:meth:`ExperimentService.metrics_snapshot`.
+
+Typical use::
+
+    from repro.api import Session
+
+    with Session(cache=".repro-cache", workers=4).serve() as svc:
+        jobs = [svc.submit(spec) for spec in specs]
+        reports = [j.result() for j in jobs]
+        print(svc.metrics_snapshot())
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import List, Optional
+
+from ..cache import cache_key
+from ..engine import Engine, _coerce_cache
+from .metrics import ServiceMetrics
+from .queue import Job, JobQueue, JobState, QueueFull
+
+__all__ = ["ExperimentService"]
+
+#: default EWMA smoothing for the observed per-spec run latency
+_EWMA_ALPHA = 0.5
+
+#: run-latency guess (seconds) before the first batch is measured
+_DEFAULT_RUN_S = 0.05
+
+
+class ExperimentService:
+    """Shared experiment server: queue, coalesce, batch, execute, report.
+
+    Parameters
+    ----------
+    engine, cache, workers
+        The execution stack: an :class:`~repro.engine.Engine`, an
+        optional :class:`~repro.cache.ResultCache` (or directory
+        path), and the process-pool width (1 = in-process serial).
+    max_queue
+        Bound on pending jobs; submissions beyond it are rejected with
+        :class:`~repro.serve.queue.QueueFull` (backpressure).
+    max_batch, target_batch_s
+        Adaptive batching knobs: batches never exceed ``max_batch``
+        specs and aim for ``target_batch_s`` seconds of wall-time at
+        the observed per-spec latency.
+    max_retries
+        How many times a job survives a worker-pool crash before it is
+        failed.
+    autostart
+        Start the scheduler thread immediately; ``False`` lets tests
+        (and the file-based server's ingest phase) queue submissions
+        deterministically before dispatch begins.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[Engine] = None,
+        cache=None,
+        workers: int = 1,
+        max_queue: int = 64,
+        max_batch: int = 8,
+        target_batch_s: float = 2.0,
+        max_retries: int = 2,
+        autostart: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1 (got {workers})")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if target_batch_s <= 0:
+            raise ValueError("target_batch_s must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        self._engine = engine or Engine()
+        self._cache = _coerce_cache(cache)
+        self._workers = workers
+        self._max_batch = max_batch
+        self._target_batch_s = target_batch_s
+        self._max_retries = max_retries
+        self._metrics = ServiceMetrics()
+        self._queue = JobQueue(max_depth=max_queue, retry_hint=self._retry_after)
+        self._inflight: dict = {}  # key -> Job (queued or running)
+        self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._stopping = False
+        self._running_jobs = 0
+        self._ewma_run_s: Optional[float] = None
+        self._ids = itertools.count(1)
+        self._pool = None
+        self._thread: Optional[threading.Thread] = None
+        if autostart:
+            self.start()
+
+    # -- properties ----------------------------------------------------------
+    @property
+    def cache(self):
+        """The attached :class:`~repro.cache.ResultCache` (or None)."""
+        return self._cache
+
+    @property
+    def workers(self) -> int:
+        """Process-pool width batches fan out over (1 = in-process)."""
+        return self._workers
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently pending in the bounded queue."""
+        return self._queue.depth
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs admitted but not yet resolved (queued + running)."""
+        with self._lock:
+            return len(self._inflight)
+
+    @property
+    def started(self) -> bool:
+        """Whether the scheduler thread is running."""
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ExperimentService":
+        """Start the scheduler thread (idempotent); returns self."""
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("service has been shut down")
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._scheduler_loop,
+                    name="repro-serve-scheduler",
+                    daemon=True,
+                )
+                self._thread.start()
+        return self
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted job is resolved.
+
+        Starts the scheduler if needed.  Returns True once the queue
+        is empty and nothing is running; False on timeout.
+        """
+        self.start()
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout  # wall-clock-ok: host-side telemetry only
+        )
+        with self._lock:
+            while self._queue.depth > 0 or self._running_jobs > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()  # wall-clock-ok: host-side telemetry only
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the service; optionally finish admitted work first.
+
+        ``drain=True`` (graceful) waits for the queue to empty before
+        stopping; ``drain=False`` fails still-pending jobs with a
+        RuntimeError.  Either way the scheduler thread and the worker
+        pool are torn down and later submissions raise.
+        """
+        if drain and self._thread is not None:
+            self.drain(timeout=timeout)
+        with self._lock:
+            self._stopping = True
+            self._work.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        now = time.monotonic()  # wall-clock-ok: host-side telemetry only
+        with self._lock:
+            for job in self._queue.drain_pending():
+                self._inflight.pop(job.key, None)
+                self._metrics.failed += 1
+                job._fail(
+                    RuntimeError("service shut down before the job ran"), now
+                )
+            self._idle.notify_all()
+        self._discard_pool()
+
+    def __enter__(self) -> "ExperimentService":
+        """Context-manager entry: the started service."""
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: graceful drain + shutdown."""
+        self.shutdown(drain=exc_type is None)
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, spec, priority: int = 0, client: str = "default") -> Job:
+        """Submit one spec; returns the (possibly shared) job handle.
+
+        Duplicate in-flight specs coalesce onto the existing job;
+        cached specs resolve immediately without queueing; otherwise
+        the job is admitted to the bounded queue or rejected with
+        :class:`~repro.serve.queue.QueueFull`.
+        """
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("service has been shut down")
+            self._metrics.submitted += 1
+            key = (
+                self._cache.key_for(spec)
+                if self._cache is not None
+                else cache_key(spec)
+            )
+            existing = self._inflight.get(key)
+            if existing is not None:
+                existing.waiters += 1
+                self._metrics.coalesced += 1
+                return existing
+            now = time.monotonic()  # wall-clock-ok: host-side telemetry only
+            if self._cache is not None:
+                cached = self._cache.get(spec)
+                if cached is not None:
+                    job = Job(
+                        next(self._ids), spec, key, priority, client, now
+                    )
+                    job.cache_hit = True
+                    job._resolve(cached, now)
+                    self._metrics.cache_hits += 1
+                    self._metrics.completed += 1
+                    self._metrics.wait.record(0.0)
+                    return job
+            job = Job(next(self._ids), spec, key, priority, client, now)
+            try:
+                self._queue.push(job)
+            except QueueFull:
+                self._metrics.rejected += 1
+                raise
+            self._inflight[key] = job
+            self._metrics.accepted += 1
+            self._metrics.peak_queue_depth = max(
+                self._metrics.peak_queue_depth, self._queue.depth
+            )
+            self._metrics.peak_in_flight = max(
+                self._metrics.peak_in_flight, len(self._inflight)
+            )
+            self._work.notify_all()
+            return job
+
+    def submit_many(
+        self, specs, priority: int = 0, client: str = "default"
+    ) -> List[Job]:
+        """Submit a batch of specs; one job handle per spec, in order."""
+        return [
+            self.submit(spec, priority=priority, client=client)
+            for spec in specs
+        ]
+
+    # -- metrics -------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Live service metrics: queue/admission/coalesce/cache
+        counters plus wait and run latency histograms."""
+        with self._lock:
+            snap = self._metrics.snapshot(
+                queue_depth=self._queue.depth,
+                in_flight=len(self._inflight),
+            )
+            snap["workers"] = self._workers
+            snap["max_queue"] = self._queue.max_depth
+            snap["max_batch"] = self._max_batch
+            snap["ewma_run_s"] = self._ewma_run_s or 0.0
+            return snap
+
+    def stats(self) -> dict:
+        """Alias of :meth:`metrics_snapshot` (MetricsHub source API)."""
+        return self.metrics_snapshot()
+
+    @property
+    def hub(self):
+        """A :class:`~repro.instrument.MetricsHub` observing this
+        service (and its cache when attached)."""
+        from ..instrument import MetricsHub
+
+        return MetricsHub(service=self, cache=self._cache)
+
+    # -- scheduling internals ------------------------------------------------
+    def _retry_after(self, depth: int) -> float:
+        """Backpressure hint: when a queue slot should free up."""
+        per = self._ewma_run_s or _DEFAULT_RUN_S
+        return max(per, depth * per / max(1, self._workers))
+
+    def _batch_size(self) -> int:
+        """Next batch size from the observed per-spec latency."""
+        per = self._ewma_run_s
+        if per is None or per <= 0:
+            size = self._workers
+        else:
+            size = int(self._target_batch_s / per)
+        return max(1, min(self._max_batch, size))
+
+    def _observe_run_latency(self, per_spec_s: float) -> None:
+        if self._ewma_run_s is None:
+            self._ewma_run_s = per_spec_s
+        else:
+            self._ewma_run_s = (
+                _EWMA_ALPHA * per_spec_s
+                + (1.0 - _EWMA_ALPHA) * self._ewma_run_s
+            )
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._stopping and self._queue.depth == 0:
+                    self._idle.notify_all()
+                    self._work.wait(timeout=0.05)
+                if self._stopping:
+                    self._idle.notify_all()
+                    return
+                batch = self._queue.pop_batch(self._batch_size())
+                now = time.monotonic()  # wall-clock-ok: host-side telemetry only
+                for job in batch:
+                    job.state = JobState.RUNNING
+                    job.started_s = now
+                    self._metrics.wait.record(now - job.submitted_s)
+                self._running_jobs = len(batch)
+                self._metrics.batches += 1
+            try:
+                self._execute_batch(batch)
+            finally:
+                with self._lock:
+                    self._running_jobs = 0
+                    self._idle.notify_all()
+
+    # -- execution -----------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self._workers)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def _execute_batch(self, batch: List[Job]) -> None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        specs = [job.spec for job in batch]
+        t0 = time.monotonic()  # wall-clock-ok: host-side telemetry only
+        try:
+            if self._workers > 1 and len(batch) > 1:
+                sweep = self._engine.run_many(
+                    specs, workers=self._workers, pool=self._ensure_pool()
+                )
+            else:
+                sweep = self._engine.run_many(specs, workers=1)
+        except BrokenProcessPool:
+            # a worker died abruptly; the jobs are intact — recycle the
+            # pool and requeue with bounded retries
+            self._discard_pool()
+            self._requeue_batch(batch)
+            return
+        except Exception as exc:
+            # an app-level failure poisons a pooled batch wholesale;
+            # isolate it by running each job alone, in-process
+            if len(batch) == 1:
+                self._finish_failed(batch[0], exc)
+                return
+            for job in batch:
+                try:
+                    report = self._engine.run(job.spec)
+                except Exception as job_exc:  # noqa: BLE001 - job carries it
+                    self._finish_failed(job, job_exc)
+                else:
+                    if self._cache is not None:
+                        self._cache.put(job.spec, report)
+                    self._finish_ok(job, report)
+            return
+        wall = time.monotonic() - t0  # wall-clock-ok: host-side telemetry only
+        with self._lock:
+            self._observe_run_latency(wall / max(1, len(batch)))
+        for job, report in zip(batch, sweep.reports):
+            if self._cache is not None:
+                self._cache.put(job.spec, report)
+            self._finish_ok(job, report)
+
+    def _requeue_batch(self, batch: List[Job]) -> None:
+        now = time.monotonic()  # wall-clock-ok: host-side telemetry only
+        with self._lock:
+            for job in batch:
+                job.retries += 1
+                if job.retries > self._max_retries:
+                    self._inflight.pop(job.key, None)
+                    self._metrics.failed += 1
+                    job._fail(
+                        RuntimeError(
+                            f"job {job.id} failed after {job.retries} "
+                            "worker-pool crashes"
+                        ),
+                        now,
+                    )
+                else:
+                    self._metrics.requeued += 1
+                    self._queue.requeue(job)
+            self._work.notify_all()
+
+    def _finish_ok(self, job: Job, report) -> None:
+        now = time.monotonic()  # wall-clock-ok: host-side telemetry only
+        with self._lock:
+            self._inflight.pop(job.key, None)
+            job._resolve(report, now)
+            self._metrics.run.record(job.run_s)
+            self._metrics.executed += 1
+            self._metrics.completed += 1
+
+    def _finish_failed(self, job: Job, error: BaseException) -> None:
+        now = time.monotonic()  # wall-clock-ok: host-side telemetry only
+        with self._lock:
+            self._inflight.pop(job.key, None)
+            job._fail(error, now)
+            self._metrics.failed += 1

@@ -11,18 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from .api import Session
 from .apps.xpic import Mode
 from .bench import run_fig7, run_fig8
-from .engine import Engine, ExperimentSpec
 
 __all__ = ["Claim", "validate_claims", "render_claims"]
 
 
 def _machine(**overrides):
-    """A DEEP-ER prototype machine built through the engine preset."""
-    return Engine().build_machine(
-        ExperimentSpec(machine_overrides=overrides)
-    )
+    """A DEEP-ER prototype machine built through the Session facade."""
+    return Session().machine(**overrides)
 
 
 @dataclass
@@ -51,8 +49,9 @@ class Claim:
 def validate_claims(steps: int = 200, workers: int = 1) -> List[Claim]:
     """Run the evaluation and grade every claim.  Returns the list of
     claims with pass/fail; deterministic regardless of ``workers`` (the
-    Fig 7/8 sweeps fan out over :meth:`Engine.run_many`)."""
+    Fig 7/8 sweeps fan out over one :class:`~repro.api.Session`)."""
     claims: List[Claim] = []
+    session = Session(workers=workers)
     machine = _machine()
     fab = machine.fabric
 
@@ -107,7 +106,7 @@ def validate_claims(steps: int = 200, workers: int = 1) -> List[Claim]:
     )
 
     # --- Fig 7 ----------------------------------------------------------
-    f7 = run_fig7(steps=steps, workers=workers)
+    f7 = run_fig7(steps=steps, session=session)
     claims.append(
         Claim(
             "F7-field-6x",
@@ -165,7 +164,7 @@ def validate_claims(steps: int = 200, workers: int = 1) -> List[Claim]:
     )
 
     # --- Fig 8 ----------------------------------------------------------
-    f8 = run_fig8(steps=steps, workers=workers)
+    f8 = run_fig8(steps=steps, session=session)
     claims.append(
         Claim(
             "F8-gain-grows",

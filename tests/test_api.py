@@ -1,0 +1,157 @@
+"""Tests for the repro.api Session facade and the spec/cache
+hardening that shipped with it."""
+
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro.api import Session
+from repro.cache import ResultCache
+from repro.engine import Engine, ExperimentSpec
+
+
+def canon(report):
+    """Report JSON minus host wall-clock telemetry (the determinism
+    suite's bit-identity comparison)."""
+    d = report.to_dict()
+    for key in ("wall_time_s", "events_per_sec", "host_wall_s"):
+        d["sim"].pop(key, None)
+    return json.dumps(d, sort_keys=True)
+
+
+def test_session_is_the_package_front_door():
+    assert repro.Session is Session
+    assert "Session" in repro.__all__
+
+
+def test_session_run_matches_engine_bit_for_bit():
+    spec = ExperimentSpec(mode="cb", steps=5)
+    assert canon(Session().run(spec)) == canon(Engine().run(spec))
+
+
+def test_session_run_accepts_spec_fields_directly():
+    report = Session().run(mode="cluster", steps=4)
+    assert report.result["mode"] == "Cluster"
+    with pytest.raises(TypeError, match="not both"):
+        Session().run(ExperimentSpec(steps=4), mode="cb")
+
+
+def test_session_sweep_matches_engine_and_respects_override():
+    specs = [ExperimentSpec(mode=m, steps=4) for m in ("cluster", "cb")]
+    ours = Session(workers=1).sweep(specs, workers=1)
+    theirs = Engine().run_many(specs, workers=1)
+    assert [canon(r) for r in ours.reports] == [
+        canon(r) for r in theirs.reports
+    ]
+
+
+def test_session_cache_is_shared_across_verbs(tmp_path):
+    session = Session(cache=tmp_path / "store")
+    assert isinstance(session.cache, ResultCache)
+    spec = ExperimentSpec(mode="cb", steps=4)
+    first = session.run(spec)
+    second = session.run(spec)
+    assert session.cache.hits == 1
+    assert first.to_json() == second.to_json()
+    assert session.cache_stats()["entries"] == 1
+    assert Session().cache_stats() == {}
+
+
+def test_session_specs_cross_product():
+    specs = Session().specs(
+        steps=4, mode=["cluster", "cb"], nodes_per_solver=[1, 2]
+    )
+    assert len(specs) == 4
+    assert {(s.mode, s.nodes_per_solver) for s in specs} == {
+        ("Cluster", 1), ("Cluster", 2), ("C+B", 1), ("C+B", 2),
+    }
+    (single,) = Session().specs(steps=7)
+    assert single.steps == 7
+
+
+def test_session_tune_runs_through_bound_stack(tmp_path):
+    from repro.autotune import TuneSpace
+
+    report = Session(cache=tmp_path / "store").tune(
+        space=TuneSpace(node_counts=(1,)),
+        steps=6,
+        generations=1,
+        population=2,
+        baseline=False,
+    )
+    assert report.best_runtime_s > 0
+    assert report.cache  # session cache counters rode along
+
+
+def test_session_machine_builds_preset():
+    machine = Session().machine()
+    assert machine.cluster and machine.booster
+
+
+def test_session_rejects_bad_workers():
+    with pytest.raises(ValueError, match="workers"):
+        Session(workers=0)
+
+
+def test_engine_run_many_rejects_bad_workers():
+    with pytest.raises(ValueError, match="workers must be >= 1"):
+        Engine().run_many([ExperimentSpec(steps=3)], workers=0)
+    with pytest.raises(ValueError, match="got -1"):
+        Engine().run_many([ExperimentSpec(steps=3)], workers=-1)
+
+
+def test_cache_prune_zero_empties_without_underflow(tmp_path):
+    cache = ResultCache(tmp_path / "store")
+    for steps in (3, 4):
+        Engine().run(ExperimentSpec(steps=steps), cache=cache)
+    assert cache.stats()["entries"] == 2
+    outcome = cache.prune(max_bytes=0)
+    assert outcome["removed"] == 2
+    assert outcome["kept"] == 0
+    assert cache.stats()["entries"] == 0
+    # pruning an already-empty store is a no-op, not an underflow
+    assert cache.prune(max_bytes=0)["removed"] == 0
+
+
+def test_cache_prune_negative_budget_raises(tmp_path):
+    with pytest.raises(ValueError, match="negative"):
+        ResultCache(tmp_path / "store").prune(max_bytes=-1)
+
+
+def test_spec_positional_args_warn_exactly_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        spec = ExperimentSpec("deep-er", "xpic", "cb")
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "keyword" in str(deprecations[0].message)
+    assert (spec.preset, spec.app, spec.mode) == ("deep-er", "xpic", "C+B")
+
+
+def test_spec_keyword_args_do_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        spec = ExperimentSpec(preset="deep-er", mode="cb", steps=5)
+    assert spec.steps == 5
+
+
+def test_spec_positional_shim_matches_keyword_construction():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        positional = ExperimentSpec("deep-er", "xpic", "cb", 42)
+    assert positional == ExperimentSpec(
+        preset="deep-er", app="xpic", mode="cb", steps=42
+    )
+
+
+def test_spec_positional_shim_rejects_bad_calls():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        with pytest.raises(TypeError, match="at most"):
+            ExperimentSpec(*(["x"] * 40))  # more args than fields
+        with pytest.raises(TypeError, match="preset"):
+            ExperimentSpec("deep-er", preset="deep-est")  # duplicate

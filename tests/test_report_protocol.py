@@ -1,0 +1,107 @@
+"""Tests for the unified schema-tagged report protocol."""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.autotune import TUNE_SCHEMA, TuneReport, TuneSpace
+from repro.engine import (
+    REPORT_SCHEMA,
+    SWEEP_SCHEMA,
+    Engine,
+    ExperimentSpec,
+    RunReport,
+    SweepReport,
+)
+from repro.report import (
+    Report,
+    load_report,
+    report_from_dict,
+    report_from_json,
+    report_schemas,
+    report_type,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """One live instance of every registered report type."""
+    session = Session()
+    run = session.run(steps=4)
+    sweep = session.sweep([ExperimentSpec(steps=4), ExperimentSpec(steps=5)])
+    tune = session.tune(
+        space=TuneSpace(node_counts=(1,)),
+        steps=5,
+        generations=1,
+        population=2,
+        baseline=False,
+    )
+    return {"run": run, "sweep": sweep, "tune": tune}
+
+
+def test_registry_covers_the_whole_family():
+    registry = report_schemas()
+    assert registry == {
+        REPORT_SCHEMA: RunReport,
+        SWEEP_SCHEMA: SweepReport,
+        TUNE_SCHEMA: TuneReport,
+    }
+    for schema, cls in registry.items():
+        assert report_type(schema) is cls
+
+
+def test_every_report_satisfies_the_protocol(reports):
+    for report in reports.values():
+        assert isinstance(report, Report)
+        assert report.schema in report_schemas()
+
+
+def test_dispatch_round_trips_every_type(reports):
+    for report in reports.values():
+        rebuilt = report_from_dict(report.to_dict())
+        assert type(rebuilt) is type(report)
+        assert rebuilt.to_json() == report.to_json()
+        assert report_from_json(report.to_json()).to_json() == report.to_json()
+
+
+def test_load_report_round_trips_files(tmp_path, reports):
+    for name, report in reports.items():
+        path = tmp_path / f"{name}.json"
+        report.save(path)
+        loaded = load_report(path)
+        assert type(loaded) is type(report)
+        assert loaded.to_json() == report.to_json()
+
+
+def test_unknown_schema_raises_with_known_tags():
+    with pytest.raises(ValueError, match="unknown report schema"):
+        report_from_dict({"schema": "repro.mystery/9"})
+    with pytest.raises(ValueError, match="no 'schema' tag"):
+        report_from_dict({"hello": 1})
+    with pytest.raises(ValueError, match="JSON object"):
+        report_from_dict([1, 2, 3])
+
+
+def test_cli_report_renders_every_type(tmp_path, capsys, reports):
+    from repro.cli import main
+
+    expected = {
+        "run": "Run report",
+        "sweep": "Sweep:",
+        "tune": "best partition",
+    }
+    for name, report in reports.items():
+        path = tmp_path / f"{name}.json"
+        report.save(path)
+        assert main(["report", str(path)]) == 0
+        assert expected[name] in capsys.readouterr().out
+
+
+def test_cli_report_rejects_untagged_file(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "nope.json"
+    path.write_text(json.dumps({"hello": 1}))
+    assert main(["report", str(path)]) == 2
+    assert "schema" in capsys.readouterr().err
