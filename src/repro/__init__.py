@@ -31,7 +31,7 @@ the full stack the paper describes:
     report = Session().run(mode="cb", steps=100)
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .api import Session
 from .engine import Engine, ExperimentSpec, RunReport, SweepReport

@@ -363,6 +363,7 @@ def tune(
     engine: Optional[Engine] = None,
     seed: int = 20180521,
     baseline: bool = True,
+    sim_backend: Optional[str] = None,
 ) -> TuneReport:
     """Search the partition space for the fastest configuration.
 
@@ -377,7 +378,9 @@ def tune(
 
     The search is fully deterministic: rerunning an identical tune
     reproduces the same winner bit for bit (and, with a cache, without
-    simulating anything twice).
+    simulating anything twice).  ``sim_backend`` picks the event-queue
+    backend every probe runs on; backends are bit-identical, so it
+    changes only the tune's wall-clock cost, never the winner.
     """
     if population < 1:
         raise ValueError("population must be >= 1")
@@ -413,7 +416,8 @@ def tune(
     for g, probe_steps in enumerate(schedule):
         specs = [
             cfg.to_spec(
-                probe_steps, preset=preset, seed=seed, config=config
+                probe_steps, preset=preset, seed=seed, config=config,
+                sim_backend=sim_backend,
             )
             for cfg in pool
         ]
@@ -461,7 +465,8 @@ def tune(
     baseline_section: dict = {}
     if baseline:
         base_spec = HAND_CODED.to_spec(
-            steps, preset=preset, seed=seed, config=config
+            steps, preset=preset, seed=seed, config=config,
+            sim_backend=sim_backend,
         )
         base_report = engine.run(base_spec, cache=cache)
         baseline_section = {

@@ -51,6 +51,7 @@ from .engine import (
     SweepReport,
 )
 from .report import report_from_dict
+from .sim import BACKENDS as SIM_BACKENDS
 from .bench import (
     FIG78_STEPS,
     fig3_series,
@@ -344,6 +345,7 @@ def _spec_from_args(args) -> ExperimentSpec:
         seed=args.seed,
         trace=getattr(args, "trace", False)
         or bool(getattr(args, "chrome_trace", None)),
+        sim_backend=getattr(args, "sim_backend", None),
         **_fault_kwargs(args),
     )
 
@@ -429,7 +431,9 @@ def cmd_sweep(args) -> str:
     if not modes or not nodes:
         raise ValueError("sweep needs at least one mode and one node count")
     session = Session(
-        cache=getattr(args, "cache", None), workers=args.workers
+        cache=getattr(args, "cache", None),
+        workers=args.workers,
+        sim_backend=getattr(args, "sim_backend", None),
     )
     specs = session.specs(
         base=dict(
@@ -577,7 +581,11 @@ def cmd_tune(args) -> str:
     except ValueError as exc:
         raise ValueError(f"bad --nodes list: {exc}") from None
     space = TuneSpace(node_counts=node_counts)
-    session = Session(cache=args.cache, workers=args.workers)
+    session = Session(
+        cache=args.cache,
+        workers=args.workers,
+        sim_backend=getattr(args, "sim_backend", None),
+    )
     report = session.tune(
         space=space,
         steps=args.steps,
@@ -636,8 +644,18 @@ def cmd_serve(args) -> str:
     """Run the experiment service over a file-based job directory."""
     from .serve import serve_jobdir
 
+    if getattr(args, "sim_backend", None):
+        # submitted specs carry their own sim_backend; this sets the
+        # default for the ones that do not (workers inherit the env)
+        import os
+
+        from .sim import BACKEND_ENV_VAR
+
+        os.environ[BACKEND_ENV_VAR] = args.sim_backend
     session = Session(
-        cache=getattr(args, "cache", None), workers=args.workers
+        cache=getattr(args, "cache", None),
+        workers=args.workers,
+        sim_backend=getattr(args, "sim_backend", None),
     )
     service = session.serve(max_queue=args.max_queue, autostart=not args.once)
     try:
@@ -714,6 +732,66 @@ def cmd_cache(args) -> str:
     return "\n".join(lines)
 
 
+def cmd_bench(args) -> str:
+    """Run + archive the microbench suite, then apply the regression
+    gate — the same two steps CI runs, reproducible locally."""
+    import importlib.util
+    import io
+    import pathlib
+    import subprocess
+    import sys as _sys
+    from contextlib import redirect_stdout
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    bench_dir = repo_root / "benchmarks"
+    if not bench_dir.is_dir():
+        raise FileNotFoundError(
+            f"benchmark suite not found at {bench_dir} "
+            "(repro bench needs the source checkout)"
+        )
+    lines = []
+    if not args.gate_only:
+        targets = (
+            ["benchmarks/"]
+            if args.all
+            else [
+                "benchmarks/test_events_per_sec.py",
+                "benchmarks/test_cache_lookup.py",
+            ]
+        )
+        cmd = [_sys.executable, "-m", "pytest", "--benchmark-only", "-q"]
+        cmd += targets
+        proc = subprocess.run(cmd, cwd=repo_root)
+        if proc.returncode != 0:
+            raise ValueError(
+                f"benchmark run failed (pytest exit {proc.returncode})"
+            )
+        lines.append(
+            f"microbenchmarks archived under {bench_dir / '_results'}"
+        )
+    results = sorted((bench_dir / "_results").glob("*.json"))
+    if not results:
+        raise FileNotFoundError(
+            "no archived benchmark results to gate — run `repro bench` "
+            "without --gate-only first"
+        )
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", bench_dir / "check_regression.py"
+    )
+    gate = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(gate)
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        code = gate.main(
+            [str(p) for p in results]
+            + ["--tolerance", str(args.tolerance)]
+        )
+    lines.append(buf.getvalue().rstrip())
+    if code != 0:
+        raise ValueError("throughput regression gate failed:\n" + lines[-1])
+    return "\n".join(lines)
+
+
 def cmd_all(args) -> str:
     parts = [
         cmd_table1(args),
@@ -747,6 +825,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="any schema-tagged report JSON — run, sweep, or tune "
         "(omit to compose benchmarks/_results)",
     )
+    def add_backend_arg(sp) -> None:
+        """The event-queue backend flag every run-shaped command takes."""
+        sp.add_argument(
+            "--sim-backend",
+            default=None,
+            choices=sorted(SIM_BACKENDS),
+            help="event-queue backend (default: REPRO_SIM_BACKEND or "
+            "heap); backends are bit-identical, only throughput differs",
+        )
+
     def add_spec_args(sp) -> None:
         """The one-experiment spec flags `run` and `submit` share."""
         sp.add_argument(
@@ -808,6 +896,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--json", metavar="FILE", default=None,
             help="write the RunReport JSON",
         )
+        add_backend_arg(sp)
 
     rn = sub.add_parser(
         "run", help="run one instrumented experiment through the engine"
@@ -883,6 +972,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-request progress lines",
     )
+    add_backend_arg(sv)
     sb = sub.add_parser(
         "submit",
         help="submit one experiment request to a running `repro serve`",
@@ -961,6 +1051,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="memoize every run in a content-addressed result store",
     )
+    add_backend_arg(sw)
     tn = sub.add_parser(
         "tune",
         help="autotune the Cluster/Booster partition (model-seeded "
@@ -1031,6 +1122,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tn.add_argument(
         "--json", metavar="FILE", default=None, help="write TuneReport JSON"
+    )
+    add_backend_arg(tn)
+    bn = sub.add_parser(
+        "bench",
+        help="run + archive the throughput microbenchmarks, then apply "
+        "the regression gate (the CI steps, locally)",
+    )
+    bn.add_argument(
+        "--all",
+        action="store_true",
+        help="run the whole benchmark suite (every table/figure), not "
+        "just the gated throughput benches",
+    )
+    bn.add_argument(
+        "--gate-only",
+        action="store_true",
+        help="skip running; gate the already-archived results",
+    )
+    bn.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fraction below each baseline floor (default 0.30)",
     )
     ca = sub.add_parser(
         "cache", help="manage a content-addressed result store"
@@ -1155,6 +1269,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": cmd_tune,
         "serve": cmd_serve,
         "submit": cmd_submit,
+        "bench": cmd_bench,
         "cache": cmd_cache,
         "table1": cmd_table1,
         "fig3": cmd_fig3,

@@ -44,7 +44,7 @@ from .hardware.machine import (
 from .instrument import MetricsHub
 from .mpi import FaultTolerancePolicy, MPIRuntime
 from .resiliency import FaultPlan
-from .sim import Simulator, Tracer
+from .sim import Simulator, Tracer, resolve_backend
 
 __all__ = [
     "ExperimentSpec",
@@ -154,6 +154,11 @@ class ExperimentSpec:
     fault_plan: Optional[dict] = None
     mtbf_s: Optional[float] = None
     ckpt_interval_s: Optional[float] = None
+    #: event-queue backend for the run ("heap" or "calendar"); ``None``
+    #: defers to the ``REPRO_SIM_BACKEND`` environment variable.  An
+    #: execution detail, not an experiment parameter: backends are
+    #: bit-identical, so the result cache deliberately ignores it.
+    sim_backend: Optional[str] = None
 
     def __post_init__(self):
         if self.preset not in MACHINE_PRESETS:
@@ -176,6 +181,8 @@ class ExperimentSpec:
             raise ValueError("mtbf_s must be positive")
         if self.ckpt_interval_s is not None and self.ckpt_interval_s <= 0:
             raise ValueError("ckpt_interval_s must be positive")
+        if self.sim_backend is not None:
+            resolve_backend(self.sim_backend)  # fail fast on unknown names
         if self.wants_resiliency and self.app != "xpic":
             raise ValueError("fault injection is only wired to the xpic app")
         # normalize early so bad modes fail at spec construction
@@ -203,8 +210,15 @@ class ExperimentSpec:
 
     # -- machine construction ---------------------------------------------
     def build_machine(self, sim: Optional[Simulator] = None) -> Machine:
-        """Instantiate this spec's machine preset."""
+        """Instantiate this spec's machine preset.
+
+        When no pre-built simulator is supplied, one is created on this
+        spec's ``sim_backend`` (falling back to the environment/default
+        resolution chain).
+        """
         builder = MACHINE_PRESETS[self.preset]
+        if sim is None:
+            sim = Simulator(backend=self.sim_backend)
         return builder(sim=sim, **self.machine_overrides)
 
     # -- (de)serialization --------------------------------------------------

@@ -90,7 +90,8 @@ def build_deep_er_prototype(
     Node ids follow the paper's abbreviations: ``cn00..`` Cluster nodes,
     ``bn00..`` Booster nodes, ``st0..`` storage servers, ``nam0..`` NAMs.
     """
-    sim = sim or Simulator()
+    # explicit None check: an idle Simulator is falsy (len() == 0)
+    sim = Simulator() if sim is None else sim
     cn_ids = [f"cn{i:02d}" for i in range(cluster_nodes)]
     bn_ids = [f"bn{i:02d}" for i in range(booster_nodes)]
     st_ids = [f"st{i}" for i in range(storage_nodes)]

@@ -56,7 +56,16 @@ class MetricsHub:
 
     # -- per-layer snapshots ----------------------------------------------
     def sim_metrics(self) -> dict:
-        """Simulator counters: event volume, queue depth, host time."""
+        """Simulator counters: event volume, queue depth, host time,
+        and the event-queue backend's batch/occupancy figures.
+
+        Everything except ``wall_time_s``/``events_per_sec`` (host
+        timing) and the ``backend`` block (queue-implementation
+        identity) is bit-identical across backends for the same run —
+        the determinism contract the differential tests enforce.  The
+        batch histogram *is* part of the identical set: both backends
+        group co-temporal events the same way.
+        """
         if self.sim is None:
             return {}
         wall = self.sim.wall_time_s
@@ -69,6 +78,13 @@ class MetricsHub:
                 self.sim.events_processed / wall if wall > 0 else 0.0
             ),
             "sim_time_s": self.sim.now,
+            "batches": self.sim.batches,
+            "max_batch": self.sim.max_batch,
+            "batch_size_hist": self.sim.batch_size_hist(),
+            "backend": {
+                "name": self.sim.backend,
+                "queue": self.sim.queue_stats(),
+            },
         }
 
     def network_metrics(self) -> dict:

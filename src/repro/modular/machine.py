@@ -102,7 +102,8 @@ def build_modular_system(
     names = [m.name for m in modules]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate module names in {names}")
-    sim = sim or Simulator()
+    # explicit None check: an idle Simulator is falsy (len() == 0)
+    sim = Simulator() if sim is None else sim
 
     ids: Dict[str, List[str]] = {}
     for spec in modules:

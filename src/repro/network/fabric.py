@@ -283,6 +283,12 @@ class Fabric:
         the whole route is idle the acquisition skips the event
         machinery entirely (see the class docstring).
 
+        Both paths suspend through pooled bare-delay yields (the
+        simulator's allocation-free wakeup fast path), so co-temporal
+        transfer completions land in one same-timestamp bucket and are
+        dispatched as a single batch by the event core — many
+        simultaneous barrier-style completions cost one queue pop.
+
         Transfers touching a failed node raise :class:`NodeFailedError`
         (the NIC stops responding with its host).
         """

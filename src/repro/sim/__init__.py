@@ -8,12 +8,28 @@ virtual clock through a priority queue.  All times are in **seconds**.
 from .core import Simulator, StopSimulation
 from .events import AllOf, AnyOf, Condition, Event, Interrupt, Timeout
 from .process import Process
+from .queues import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    CalendarEventQueue,
+    EmptyQueue,
+    HeapEventQueue,
+    resolve_backend,
+)
 from .resources import NO_ITEM, Request, Resource, Store
 from .trace import Interval, Tracer
 
 __all__ = [
     "Simulator",
     "StopSimulation",
+    "EmptyQueue",
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "resolve_backend",
     "Event",
     "Timeout",
     "Condition",

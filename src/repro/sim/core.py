@@ -1,15 +1,25 @@
-"""The discrete-event simulator core: clock, queue, and run loop."""
+"""The discrete-event simulator core: clock, pluggable queue, run loop.
+
+The simulator owns the virtual clock and delegates event storage to a
+pluggable :mod:`~repro.sim.queues` backend (``"heap"`` — the reference
+binary heap — or ``"calendar"`` — a timestamp-bucketed scheduler that
+amortizes heap churn over co-temporal events).  The run loop is
+batch-oriented: every event scheduled at the next timestamp is dequeued
+in one ``pop_batch`` and dispatched back-to-back, which both backends
+order identically (ascending time, FIFO among equal times), so a run is
+event-for-event and timestamp-identical regardless of backend.
+"""
 
 from __future__ import annotations
 
-import heapq
 import time
 from typing import Any, Generator, Optional
 
 from .events import WAKE_OK, Event, Timeout, _Wakeup
 from .process import Process
+from .queues import EmptyQueue, make_queue
 
-__all__ = ["Simulator", "StopSimulation"]
+__all__ = ["Simulator", "StopSimulation", "EmptyQueue"]
 
 
 class StopSimulation(Exception):
@@ -22,9 +32,15 @@ class Simulator:
     Time is a float in **seconds** by convention throughout this project
     (network latencies are therefore around ``1e-6``).
 
+    ``backend`` selects the event-queue implementation (``"heap"`` or
+    ``"calendar"``; ``None`` consults the ``REPRO_SIM_BACKEND``
+    environment variable, defaulting to the heap).  Backends are
+    bit-identical: same event order, same timestamps, same results —
+    only the host-side throughput differs.
+
     Typical use::
 
-        sim = Simulator()
+        sim = Simulator()                      # or backend="calendar"
 
         def proc(sim):
             yield sim.timeout(1.0)
@@ -35,15 +51,30 @@ class Simulator:
         assert p.value == 42
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, backend: Optional[str] = None):
         self._now = float(start_time)
-        self._queue: list = []
-        self._seq = 0  # tie-breaker: FIFO among simultaneous events
+        self._queue = make_queue(backend)
+        #: resolved name of the event-queue backend in use
+        self.backend: str = self._queue.name
+        # batch in flight: entries popped by step() but not yet
+        # delivered (plus the tail of a batch a StopSimulation cut
+        # short); _draining mirrors its length so depth accounting on
+        # the push path is one attribute read
+        self._pending: list = []
+        self._pending_when = self._now
+        self._draining = 0
         self._active_process: Optional[Process] = None
         self.events_processed = 0
         #: events that took the allocation-free timeout fast path
         self.fast_wakeups = 0
-        #: high-water mark of the event queue
+        #: batches dequeued (every pop_batch, singletons included)
+        self.batches = 0
+        #: largest single batch of co-temporal events dequeued
+        self.max_batch = 0
+        # histogram of multi-event batch sizes, keyed by bit_length
+        # (size 1 is implicit: batches - sum of these counts)
+        self._batch_hist: dict = {}
+        #: high-water mark of the event queue (queued + in-flight batch)
         self.peak_queue_depth = 0
         #: accumulated real (host) time spent inside :meth:`run`
         self.wall_time_s = 0.0
@@ -63,11 +94,11 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        self._seq += 1
         q = self._queue
-        heapq.heappush(q, (self._now + delay, self._seq, event))
-        if len(q) > self.peak_queue_depth:
-            self.peak_queue_depth = len(q)
+        q.push(self._now + delay, event)
+        depth = q.count + self._draining
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
 
     def _schedule_wakeup(self, process: Process, delay: float) -> None:
         """Timeout fast path: resume ``process`` after ``delay`` without
@@ -83,21 +114,21 @@ class Simulator:
             process._wakeup = wakeup
         wakeup.pending = True
         wakeup.cancelled = False
-        self._seq += 1
         q = self._queue
-        heapq.heappush(q, (self._now + delay, self._seq, wakeup))
-        if len(q) > self.peak_queue_depth:
-            self.peak_queue_depth = len(q)
+        q.push(self._now + delay, wakeup)
+        depth = q.count + self._draining
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
 
     def schedule_at(self, event: Event, when: float) -> None:
         """Schedule a *triggered* event at absolute time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
-        self._seq += 1
         q = self._queue
-        heapq.heappush(q, (when, self._seq, event))
-        if len(q) > self.peak_queue_depth:
-            self.peak_queue_depth = len(q)
+        q.push(when, event)
+        depth = q.count + self._draining
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
 
     # -- factories ---------------------------------------------------------
     def event(self) -> Event:
@@ -116,30 +147,116 @@ class Simulator:
         """
         return Process(self, generator)
 
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        """Entries still owed to the run loop (queued + in-flight)."""
+        return self._queue.count + self._draining
+
+    def queue_stats(self) -> dict:
+        """Backend-specific queue occupancy figures (see the backend's
+        ``stats()``; empty for the heap)."""
+        return self._queue.stats()
+
+    def batch_size_hist(self) -> dict:
+        """Histogram of dequeued batch sizes, power-of-two binned.
+
+        Keys are bin labels (``"1"``, ``"2-3"``, ``"4-7"``, ...), values
+        are batch counts; identical across backends for the same run.
+        """
+        multi = sum(self._batch_hist.values())
+        hist = {}
+        if self.batches > multi:
+            hist["1"] = self.batches - multi
+        for k in sorted(self._batch_hist):
+            lo, hi = 1 << (k - 1), (1 << k) - 1
+            hist[f"{lo}-{hi}"] = self._batch_hist[k]
+        return hist
+
     # -- run loop ----------------------------------------------------------
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event.
+
+        Raises :class:`EmptyQueue` (an :class:`IndexError`) when the
+        simulation is idle.
+        """
+        if self._draining:
+            return self._pending_when
+        return self._queue.peek()
+
+    def _pop_batch(self):
+        """Dequeue the next timestamp's batch, updating batch metrics."""
+        when, batch = self._queue.pop_batch()
+        n = len(batch)
+        self.batches += 1
+        if n > 1:
+            k = n.bit_length()
+            hist = self._batch_hist
+            hist[k] = hist.get(k, 0) + 1
+            if n > self.max_batch:
+                self.max_batch = n
+        elif not self.max_batch:
+            self.max_batch = 1
+        return when, batch
+
+    def _dispatch(self, entry) -> None:
+        """Deliver one dequeued entry (wakeup fast path or callbacks)."""
+        if entry.__class__ is _Wakeup:
+            entry.pending = False
+            if not entry.cancelled:
+                self.fast_wakeups += 1
+                entry.process._resume(WAKE_OK)
+            return
+        callbacks = entry.callbacks
+        entry.callbacks = None  # mark processed
+        for cb in callbacks:
+            cb(entry)
+        if not entry._ok and not entry._defused:
+            # An un-handled failure: surface it rather than losing it.
+            raise entry._value
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
-        when, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+        """Process exactly one event (advancing the clock to it).
+
+        Raises :class:`EmptyQueue` (an :class:`IndexError`) when no
+        events remain.  When several events share the next timestamp the
+        whole batch is dequeued and buffered; each ``step()`` delivers
+        one entry of it, in the same order :meth:`run` would.
+        """
+        pending = self._pending
+        if not pending:
+            when, batch = self._pop_batch()
+            self._pending_when = when
+            pending.extend(batch)
+            self._draining = len(batch)
+        self._now = self._pending_when
+        entry = pending.pop(0)
+        self._draining -= 1
         self.events_processed += 1
-        if event.__class__ is _Wakeup:
-            # timeout fast path: resume the process directly
-            event.pending = False
-            if not event.cancelled:
-                self.fast_wakeups += 1
-                event.process._resume(WAKE_OK)
-            return
-        callbacks = event.callbacks
-        event.callbacks = None  # mark processed
-        for cb in callbacks:
-            cb(event)
-        if not event._ok and not event._defused:
-            # An un-handled failure: surface it rather than losing it.
-            raise event._value
+        self._dispatch(entry)
+
+    def step_batch(self) -> int:
+        """Process every event at the next timestamp; returns the count.
+
+        This is the run loop's unit of work: one batch of co-temporal
+        events, delivered back-to-back.  Events scheduled at the *same*
+        time during the batch form a later batch (preserving FIFO).
+        Raises :class:`EmptyQueue` when no events remain.
+        """
+        pending = self._pending
+        if not pending:
+            when, batch = self._pop_batch()
+            self._pending_when = when
+            pending.extend(batch)
+            self._draining = len(batch)
+        self._now = self._pending_when
+        done = 0
+        while pending:
+            entry = pending.pop(0)
+            self._draining -= 1
+            self.events_processed += 1
+            done += 1
+            self._dispatch(entry)
+        return done
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue is empty or the clock passes ``until``."""
@@ -153,12 +270,85 @@ class Simulator:
             self.schedule_at(stopper, until)
         t0 = time.perf_counter()  # wall-clock-ok: host-side telemetry only
         try:
-            while self._queue:
-                self.step()
+            self._run_loop()
         except StopSimulation:
             pass
         finally:
             self.wall_time_s += time.perf_counter() - t0  # wall-clock-ok: host-side telemetry only
+
+    def _run_loop(self) -> None:
+        """The hot loop: dequeue one timestamp batch, deliver its events.
+
+        Everything dispatch needs is bound to locals; the per-event work
+        for a pooled wakeup is the class check, two flag writes, and the
+        generator resume.  A mid-batch exception (including the
+        ``StopSimulation`` a ``run(until=...)`` stopper raises) stashes
+        the undelivered tail in ``_pending`` so queue state stays exact.
+        """
+        pop_batch = self._pop_batch
+        pending = self._pending
+        hist_cls = _Wakeup
+        while True:
+            if pending:
+                # tail of a batch a step()/stop cut short: finish it
+                self._now = self._pending_when
+                while pending:
+                    entry = pending.pop(0)
+                    self._draining -= 1
+                    self.events_processed += 1
+                    self._dispatch(entry)
+            try:
+                when, batch = pop_batch()
+            except EmptyQueue:
+                return
+            self._now = when
+            n = len(batch)
+            self.events_processed += n
+            fast = 0
+            if n == 1:
+                entry = batch[0]
+                if entry.__class__ is hist_cls:
+                    entry.pending = False
+                    if not entry.cancelled:
+                        self.fast_wakeups += 1
+                        entry.process._resume(WAKE_OK)
+                    continue
+                callbacks = entry.callbacks
+                entry.callbacks = None
+                for cb in callbacks:
+                    cb(entry)
+                if not entry._ok and not entry._defused:
+                    raise entry._value
+                continue
+            self._draining = n
+            it = iter(batch)
+            try:
+                for entry in it:
+                    self._draining -= 1
+                    if entry.__class__ is hist_cls:
+                        entry.pending = False
+                        if not entry.cancelled:
+                            fast += 1
+                            entry.process._resume(WAKE_OK)
+                        continue
+                    callbacks = entry.callbacks
+                    entry.callbacks = None
+                    for cb in callbacks:
+                        cb(entry)
+                    if not entry._ok and not entry._defused:
+                        raise entry._value
+            except BaseException:
+                # keep the undelivered tail (events_processed was bumped
+                # for the whole batch up front: take the tail back out)
+                rest = list(it)
+                if rest:
+                    pending.extend(rest)
+                    self._pending_when = when
+                self._draining = len(rest)
+                self.events_processed -= len(rest)
+                self.fast_wakeups += fast
+                raise
+            self.fast_wakeups += fast
 
     def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
         """Convenience: start ``generator`` as a process, run, return its value."""

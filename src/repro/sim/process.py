@@ -88,12 +88,14 @@ class Process(Event):
             if isinstance(event, Event):
                 event.defuse()
             return
-        self.sim._active_process = self
+        sim = self.sim
+        send = self.generator.send
+        sim._active_process = self
         try:
             while True:
                 try:
                     if event._ok:
-                        target = self.generator.send(event._value)
+                        target = send(event._value)
                     else:
                         event.defuse()
                         target = self.generator.throw(event._value)
@@ -106,18 +108,18 @@ class Process(Event):
                     self.fail(exc)
                     break
 
-                cls = type(target)
+                cls = target.__class__
                 if cls is float or cls is int:
                     # Fast path: a bare number is a timeout of that many
                     # seconds, scheduled without allocating an Event.
                     if target < 0:
                         exc = ValueError(f"negative delay {target}")
-                        event = Event(self.sim)
+                        event = Event(sim)
                         event._ok = False
                         event._value = exc
                         event._defused = True
                         continue
-                    self.sim._schedule_wakeup(self, target)
+                    sim._schedule_wakeup(self, target)
                     self._target = self._wakeup
                     break
                 if not isinstance(target, Event):
@@ -125,19 +127,19 @@ class Process(Event):
                         f"process yielded a non-event: {target!r}"
                     )
                     # Feed the error straight back into the generator.
-                    event = Event(self.sim)
+                    event = Event(sim)
                     event._ok = False
                     event._value = exc
                     event._defused = True
                     continue
-                if target.sim is not self.sim:
+                if target.sim is not sim:
                     raise RuntimeError("yielded an event from another simulator")
-                if target.processed:
-                    # Already done: loop immediately with its value.
+                if target.callbacks is None:
+                    # Already processed: loop immediately with its value.
                     event = target
                     continue
                 target.callbacks.append(self._resume)
                 self._target = target
                 break
         finally:
-            self.sim._active_process = None
+            sim._active_process = None

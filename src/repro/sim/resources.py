@@ -74,6 +74,8 @@ class Resource:
                 link.release(req)
     """
 
+    __slots__ = ("sim", "capacity", "_in_use", "_waiting")
+
     def __init__(self, sim: "Simulator", capacity: int = 1):  # noqa: F821
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -145,6 +147,8 @@ class Store:
     bounded and full); ``get()`` returns an event that succeeds with the
     next item, optionally only one matching ``filter``.
     """
+
+    __slots__ = ("sim", "capacity", "items", "_getters", "_putters", "_watchers")
 
     def __init__(self, sim: "Simulator", capacity: float = float("inf")):  # noqa: F821
         self.sim = sim

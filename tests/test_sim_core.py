@@ -1,14 +1,26 @@
-"""Unit tests for the discrete-event simulation core."""
+"""Unit tests for the discrete-event simulation core.
+
+The whole module runs once per event-queue backend (heap and calendar)
+via the autouse fixture below — the semantics must be identical.
+"""
 
 import pytest
 
 from repro.sim import (
     AllOf,
     AnyOf,
+    EmptyQueue,
     Event,
     Interrupt,
     Simulator,
 )
+
+
+@pytest.fixture(params=["heap", "calendar"], autouse=True)
+def sim_backend(request, monkeypatch):
+    """Run every test in this module under both queue backends."""
+    monkeypatch.setenv("REPRO_SIM_BACKEND", request.param)
+    return request.param
 
 
 def test_clock_starts_at_zero():
@@ -396,9 +408,93 @@ def test_peek_reports_next_event_time():
     assert sim.peek() == 7.0
 
 
-def test_peek_empty_is_inf():
+def test_peek_empty_raises_empty_queue():
     sim = Simulator()
-    assert sim.peek() == float("inf")
+    with pytest.raises(EmptyQueue, match="empty"):
+        sim.peek()
+
+
+def test_step_empty_raises_empty_queue():
+    sim = Simulator()
+    with pytest.raises(EmptyQueue):
+        sim.step()
+
+
+def test_empty_queue_is_index_error():
+    # callers that guarded the old bare IndexError keep working
+    sim = Simulator()
+    with pytest.raises(IndexError):
+        sim.peek()
+
+
+def test_backend_attribute_reflects_selection(sim_backend):
+    assert Simulator().backend == sim_backend
+    assert Simulator(backend="heap").backend == "heap"
+    assert Simulator(backend="calendar").backend == "calendar"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown sim backend"):
+        Simulator(backend="wheel")
+
+
+def test_step_batch_processes_cotemporal_events():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        sim.process(proc(sim, name))
+    # batch 1: the three initial wakeups at t=0
+    assert sim.step_batch() == 3
+    assert sim.now == 0.0
+    # batch 2: the three timeouts at t=1, delivered FIFO
+    assert sim.step_batch() == 3
+    assert order == ["a", "b", "c"]
+    # batch 3: the three process-completion events, also at t=1
+    assert sim.step_batch() == 3
+    with pytest.raises(EmptyQueue):
+        sim.step_batch()
+
+
+def test_step_drains_batches_one_event_at_a_time():
+    sim = Simulator()
+    done = []
+
+    def proc(sim, name):
+        yield sim.timeout(2.0)
+        done.append(name)
+
+    for name in ("x", "y"):
+        sim.process(proc(sim, name))
+    while True:
+        try:
+            sim.step()
+        except EmptyQueue:
+            break
+    assert done == ["x", "y"]
+    assert sim.now == 2.0
+
+
+def test_batch_metrics_accumulate():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    for _ in range(4):
+        sim.process(proc(sim))
+    sim.run()
+    # three batches of four: the t=0 wakeups, the t=1 timeouts, and
+    # the t=1 process-completion events
+    assert sim.batches == 3
+    assert sim.max_batch == 4
+    hist = sim.batch_size_hist()
+    assert hist == {"4-7": 3}
+    assert sum(hist.values()) == sim.batches
 
 
 def test_active_process_visible_during_execution():
