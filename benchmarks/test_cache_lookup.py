@@ -1,12 +1,20 @@
-"""Microbenchmark — content-addressed cache key + lookup throughput.
+"""Microbenchmark — result-store throughput across every tier.
 
 The result cache only pays off if a hit costs a vanishing fraction of
-the run it memoizes.  This bench measures the two hot cache paths —
-hashing an :class:`~repro.engine.ExperimentSpec` into its canonical
-content key, and loading a stored :class:`~repro.engine.RunReport`
-from disk — and contrasts them with the simulation time of the small
-run they would short-circuit.  Archives a table and a machine-readable
-JSON under ``benchmarks/_results``.
+the run it memoizes, and the store only scales if probes stay off the
+filesystem.  This bench measures each tier of the store on a
+populated root:
+
+* ``keys_per_sec``       — repeated key probe of one spec (memoized path)
+* ``cold_keys_per_sec``  — full derivation: build spec + canonicalize + hash
+* ``hits_per_sec``       — warm hit (tier 0, the in-memory LRU)
+* ``disk_hits_per_sec``  — cold hit (tier 1, blob load + parse; LRU off)
+* ``misses_per_sec``     — absent-key probe (index membership, no disk stat)
+
+and contrasts them with the simulation time of the small run a hit
+short-circuits.  Archives a table and a machine-readable JSON under
+``benchmarks/_results``; the ``check_regression`` gate holds
+``keys/hits/misses/disk_hits`` to the ``baseline.json`` floors.
 """
 
 import json
@@ -19,8 +27,11 @@ from repro.engine import Engine, ExperimentSpec
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
 
-N_KEYS = 2000
-N_LOOKUPS = 500
+N_KEYS = 20000
+N_COLD_KEYS = 2000
+N_LOOKUPS = 20000
+N_DISK_LOOKUPS = 2000
+N_ENTRIES = 64  # stored entries backing the probes
 ROUNDS = 3
 
 
@@ -30,7 +41,7 @@ def _archive_json(name: str, payload: dict) -> None:
 
 
 def _bench(fn, n: int) -> float:
-    """Best-of-ROUNDS operations/second for one cache path."""
+    """Best-of-ROUNDS operations/second for one store path."""
     best = 0.0
     for _ in range(ROUNDS):
         t0 = time.perf_counter()
@@ -48,17 +59,31 @@ def run_bench(tmp_root) -> dict:
     report = Engine().run(spec)
     run_s = time.perf_counter() - t0
     cache.put(spec, report)
+    # a realistically non-empty store behind the probes
+    for steps in range(6, 6 + N_ENTRIES):
+        cache.put(ExperimentSpec(mode="cluster", steps=steps), report)
 
     keys_per_sec = _bench(lambda: cache.key_for(spec), N_KEYS)
+    cold_keys_per_sec = _bench(
+        lambda: cache.key_for(ExperimentSpec(mode="cb", steps=5)),
+        N_COLD_KEYS,
+    )
     hits_per_sec = _bench(lambda: cache.get(spec), N_LOOKUPS)
+
+    disk = ResultCache(tmp_root, lru_entries=0)  # tier 1 alone
+    disk_hits_per_sec = _bench(lambda: disk.get(spec), N_DISK_LOOKUPS)
+
     miss_spec = ExperimentSpec(mode="cluster", steps=5)
     misses_per_sec = _bench(lambda: cache.get(miss_spec), N_LOOKUPS)
     return {
         "keys_per_sec": keys_per_sec,
+        "cold_keys_per_sec": cold_keys_per_sec,
         "hits_per_sec": hits_per_sec,
+        "disk_hits_per_sec": disk_hits_per_sec,
         "misses_per_sec": misses_per_sec,
         "hit_amortization": run_s * hits_per_sec,
         "_run_s": run_s,
+        "_entries": N_ENTRIES + 1,
     }
 
 
@@ -67,21 +92,26 @@ def test_cache_lookup_per_sec(benchmark, report, tmp_path):
         lambda: run_bench(tmp_path), rounds=1, iterations=1
     )
     rows = [
-        ("spec -> content key", f"{r['keys_per_sec']:,.0f}"),
-        ("hit (load stored report)", f"{r['hits_per_sec']:,.0f}"),
-        ("miss (absent key probe)", f"{r['misses_per_sec']:,.0f}"),
+        ("spec -> content key (memoized)", f"{r['keys_per_sec']:,.0f}"),
+        ("spec -> content key (cold)", f"{r['cold_keys_per_sec']:,.0f}"),
+        ("warm hit (tier 0: LRU)", f"{r['hits_per_sec']:,.0f}"),
+        ("cold hit (tier 1: blob load)", f"{r['disk_hits_per_sec']:,.0f}"),
+        ("miss (index probe, no disk)", f"{r['misses_per_sec']:,.0f}"),
         (
             "5-step C+B runs amortized per hit",
             f"{r['hit_amortization']:,.0f}",
         ),
     ]
     text = render_table(
-        ["Cache path", "Ops/sec"],
+        ["Store path", "Ops/sec"],
         rows,
-        title="Result-cache lookup throughput",
+        title="Result-store lookup throughput (tiered)",
     )
     report("cache_lookup_per_sec", text)
     _archive_json("cache_lookup_per_sec", r)
     # a hit must beat re-simulating even this tiny run outright
     assert r["hit_amortization"] > 1.0
-    assert r["keys_per_sec"] > r["hits_per_sec"] * 0.1
+    # the tiers must keep their ordering: memory >= disk, and an index
+    # miss must never cost more than a disk hit path
+    assert r["hits_per_sec"] > r["disk_hits_per_sec"]
+    assert r["misses_per_sec"] > r["disk_hits_per_sec"]

@@ -17,7 +17,8 @@ the full stack the paper describes:
 * :mod:`repro.apps.xpic`  — the xPic PIC application (Figs 5-8)
 * :mod:`repro.engine`     — declarative experiment specs + run engine
 * :mod:`repro.instrument` — cross-layer metrics hub
-* :mod:`repro.cache`      — content-addressed experiment result store
+* :mod:`repro.store`      — tiered content-addressed result store
+  (:mod:`repro.cache` is the compatibility import path)
 * :mod:`repro.autotune`   — model-guided partition autotuner
 * :mod:`repro.serve`      — async experiment service (queue/coalesce/batch)
 * :mod:`repro.api`        — the :class:`~repro.api.Session` facade
@@ -31,7 +32,7 @@ the full stack the paper describes:
     report = Session().run(mode="cb", steps=100)
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .api import Session
 from .engine import Engine, ExperimentSpec, RunReport, SweepReport

@@ -157,6 +157,41 @@ class Session:
         """The session cache's store + counter stats ({} when none)."""
         return {} if self.cache is None else self.cache.stats()
 
+    def query(self, where=None, fields=None, limit=None):
+        """Filter stored runs from the session cache's columnar index.
+
+        ``where`` takes ``COLUMN OP VALUE`` predicate strings (or a
+        dict of equalities) over index columns — spec fields and
+        headline metrics — so the rows come back without loading any
+        report blob::
+
+            s.query(where=["mode=C+B", "nodes_per_solver=8"])
+
+        ``fields`` adds columns (dotted report paths load only the
+        matched blobs); ``limit`` caps the rows, newest first.
+        Requires a cache; raises ``ValueError`` without one.
+        """
+        return self._store().query(where=where, fields=fields, limit=limit)
+
+    def aggregate(self, field: str, where=None) -> dict:
+        """count/sum/mean/min/max/p50/p90/p99 of one column over the
+        filtered stored runs (index-only for index columns)::
+
+            s.aggregate("total_runtime", where=["mode=C+B",
+                        "nodes_per_solver=8"])["p99"]
+
+        Requires a cache; raises ``ValueError`` without one.
+        """
+        return self._store().aggregate(field, where=where)
+
+    def _store(self):
+        if self.cache is None:
+            raise ValueError(
+                "this Session has no result cache attached; construct it "
+                "with Session(cache=DIR) to query stored runs"
+            )
+        return self.cache
+
     def _spec(self, spec, fields):
         if spec is None:
             if self.sim_backend is not None:

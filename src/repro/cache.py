@@ -1,24 +1,11 @@
-"""Content-addressed, on-disk experiment result cache.
+"""Content-addressed experiment result cache (compatibility path).
 
-A :class:`ResultCache` memoizes :class:`~repro.engine.RunReport`
-payloads keyed by a cryptographic hash of the *canonical* serialized
-:class:`~repro.engine.ExperimentSpec` — which already carries the
-machine preset, every placement/overlap knob, the workload config, and
-the fault plan — salted with a code-version tag so stale entries from
-an older model never resurface after the simulator changes.
-
-Two specs that describe the same experiment hash to the same key no
-matter how they were constructed (keyword order, dict-field insertion
-order); any semantic difference — another preset, one extra fault
-event — changes the key.  The stored payload is the report's exact
-JSON dict, so a cache hit is **bit-identical** to the report produced
-by the run that populated it.
-
-The engine threads a cache through :meth:`~repro.engine.Engine.run`
-and :meth:`~repro.engine.Engine.run_many` (``cache=`` accepts a
-directory path or a :class:`ResultCache`); hits resolve in the parent
-process and never spawn a pool worker.  ``repro cache stats|prune|verify``
-manages a store from the command line.
+The implementation moved to :mod:`repro.store` when the flat sharded
+directory grew into a tiered store — an in-memory LRU of parsed
+reports over an indexed blob tree (see the "Result store" section of
+``docs/ARCHITECTURE.md``).  This module keeps the original import
+path working: :class:`~repro.store.ResultCache` here *is* the tiered
+store, interface-compatible with the PR-4 original.
 
 Typical use::
 
@@ -28,222 +15,28 @@ Typical use::
     cache = ResultCache("~/.cache/repro")
     spec = ExperimentSpec(mode="cb", steps=200)
     Engine().run(spec, cache=cache)   # miss: simulates, stores
-    Engine().run(spec, cache=cache)   # hit: loads, bit-identical
+    Engine().run(spec, cache=cache)   # hit: tier-0 lookup, bit-identical
     print(cache.stats())
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-from pathlib import Path
-from typing import Iterator, Optional
-
-from .engine import REPORT_SCHEMA, ExperimentSpec, RunReport
+from .store import (
+    BUNDLE_SCHEMA,
+    CACHE_ENTRY_SCHEMA,
+    ResultCache,
+    TieredResultCache,
+    cache_key,
+    canonical_spec_json,
+    code_salt,
+)
 
 __all__ = [
+    "BUNDLE_SCHEMA",
     "CACHE_ENTRY_SCHEMA",
     "ResultCache",
+    "TieredResultCache",
     "cache_key",
     "canonical_spec_json",
     "code_salt",
 ]
-
-#: schema tag of one stored cache entry (bump on breaking change)
-CACHE_ENTRY_SCHEMA = "repro.cache_entry/1"
-
-
-def code_salt() -> str:
-    """The code-version salt folded into every cache key.
-
-    Combines the package version with the run-report schema tag: a
-    release that changes simulated behaviour (version bump) or the
-    report layout (schema bump) implicitly invalidates every existing
-    entry instead of replaying results from the older model.
-    """
-    from . import __version__
-
-    return f"{__version__}+{REPORT_SCHEMA}"
-
-
-def canonical_spec_json(spec) -> str:
-    """Canonical JSON serialization of a spec (or its dict form).
-
-    Key order is sorted recursively and separators are fixed, so the
-    byte string — and therefore the cache key — is invariant under
-    keyword-argument order and dict-field insertion order.
-
-    ``sim_backend`` is excluded: the event-queue backends are
-    bit-identical by contract, so a run cached under one backend is
-    the correct answer for the same spec under any other.
-    """
-    payload = spec.to_dict() if isinstance(spec, ExperimentSpec) else spec
-    payload = {k: v for k, v in payload.items() if k != "sim_backend"}
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def cache_key(spec, salt: Optional[str] = None) -> str:
-    """Content hash of one spec (plus the code-version salt)."""
-    salt = code_salt() if salt is None else salt
-    text = f"{salt}\n{canonical_spec_json(spec)}"
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-class ResultCache:
-    """Content-addressed store of run reports under one directory.
-
-    Entries live at ``root/<key[:2]>/<key>.json`` (sharded by the
-    leading key byte so huge stores do not pile one directory high);
-    writes are atomic (temp file + rename), so a crashed run never
-    leaves a truncated entry behind.  Session counters — ``hits``,
-    ``misses``, ``bytes_read``, ``bytes_written`` — feed the
-    :class:`~repro.instrument.MetricsHub` cache section and the CLI
-    tables.
-    """
-
-    def __init__(self, root, salt: Optional[str] = None):
-        self.root = Path(root).expanduser()
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.salt = code_salt() if salt is None else salt
-        self.hits = 0
-        self.misses = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
-
-    # -- keys and paths -----------------------------------------------------
-    def key_for(self, spec) -> str:
-        """The content-addressed key of one spec under this cache's salt."""
-        return cache_key(spec, salt=self.salt)
-
-    def path_for(self, key: str) -> Path:
-        """Where an entry with ``key`` is (or would be) stored."""
-        return self.root / key[:2] / f"{key}.json"
-
-    def _entry_paths(self) -> Iterator[Path]:
-        for shard in sorted(self.root.iterdir()):
-            if shard.is_dir() and len(shard.name) == 2:
-                yield from sorted(shard.glob("*.json"))
-
-    # -- store / load -------------------------------------------------------
-    def get(self, spec) -> Optional[RunReport]:
-        """The memoized report of ``spec``, or None (counts hit/miss)."""
-        path = self.path_for(self.key_for(spec))
-        try:
-            raw = path.read_bytes()
-            entry = json.loads(raw)
-            report = RunReport.from_dict(entry["report"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # absent, truncated, or foreign file: a miss either way
-            self.misses += 1
-            return None
-        self.hits += 1
-        self.bytes_read += len(raw)
-        return report
-
-    def put(self, spec, report: RunReport) -> str:
-        """Store one report under its spec's key; returns the key."""
-        key = self.key_for(spec)
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "schema": CACHE_ENTRY_SCHEMA,
-            "key": key,
-            "salt": self.salt,
-            "spec": spec.to_dict() if isinstance(spec, ExperimentSpec) else spec,
-            "report": report.to_dict(),
-        }
-        raw = json.dumps(entry, sort_keys=True).encode("utf-8")
-        tmp = path.with_suffix(".tmp")
-        tmp.write_bytes(raw)
-        os.replace(tmp, path)
-        self.bytes_written += len(raw)
-        return key
-
-    # -- management ---------------------------------------------------------
-    def stats(self) -> dict:
-        """Store size plus this session's hit/miss/byte counters."""
-        entries = 0
-        stored = 0
-        for path in self._entry_paths():
-            entries += 1
-            stored += path.stat().st_size
-        return {
-            "root": str(self.root),
-            "entries": entries,
-            "stored_bytes": stored,
-            "hits": self.hits,
-            "misses": self.misses,
-            "bytes_read": self.bytes_read,
-            "bytes_written": self.bytes_written,
-        }
-
-    def prune(self, max_bytes: Optional[int] = None) -> dict:
-        """Evict entries, oldest first, until ``max_bytes`` remain.
-
-        ``max_bytes=None`` (or 0) empties the store outright — an
-        explicit clear, never a byte-budget underflow.  A negative
-        budget is a caller bug and raises ``ValueError``.  Returns
-        ``{"removed": n, "freed_bytes": b, "kept": m}``.
-        """
-        if max_bytes is not None and max_bytes < 0:
-            raise ValueError(
-                f"max_bytes cannot be negative (got {max_bytes}); "
-                "use max_bytes=0 (or None) to clear the store"
-            )
-        paths = list(self._entry_paths())
-        # oldest first; path as tie-break keeps eviction deterministic
-        paths.sort(key=lambda p: (p.stat().st_mtime, str(p)))
-        total = sum(p.stat().st_size for p in paths)
-        budget = 0 if not max_bytes else int(max_bytes)
-        removed = 0
-        freed = 0
-        for path in paths:
-            if total - freed <= budget:
-                break
-            freed += path.stat().st_size
-            path.unlink()
-            removed += 1
-        return {
-            "removed": removed,
-            "freed_bytes": freed,
-            "kept": len(paths) - removed,
-        }
-
-    def verify(self, repair: bool = False) -> dict:
-        """Audit every entry: parseable, schema-tagged, key-consistent.
-
-        An entry is *corrupt* when it fails to parse (or lacks the
-        entry schema) and *mismatched* when its stored spec no longer
-        hashes to its filename under this cache's salt (edited file, or
-        a store written by a different code version).  ``repair=True``
-        deletes both kinds.  Returns ``{"ok": n, "corrupt": [...],
-        "mismatched": [...], "removed": n}``.
-        """
-        ok = 0
-        corrupt = []
-        mismatched = []
-        for path in self._entry_paths():
-            try:
-                entry = json.loads(path.read_bytes())
-                if entry.get("schema") != CACHE_ENTRY_SCHEMA:
-                    raise ValueError("bad entry schema")
-                RunReport.from_dict(entry["report"])
-            except (OSError, ValueError, KeyError, TypeError):
-                corrupt.append(str(path))
-                continue
-            if cache_key(entry.get("spec", {}), salt=self.salt) != path.stem:
-                mismatched.append(str(path))
-                continue
-            ok += 1
-        removed = 0
-        if repair:
-            for name in corrupt + mismatched:
-                Path(name).unlink(missing_ok=True)
-                removed += 1
-        return {
-            "ok": ok,
-            "corrupt": corrupt,
-            "mismatched": mismatched,
-            "removed": removed,
-        }

@@ -9,6 +9,8 @@ Usage::
     python -m repro serve --jobdir .jobs --workers 4   # experiment service
     python -m repro submit --jobdir .jobs --mode cb --steps 100 --wait
     python -m repro cache stats --dir .repro-cache   # manage the store
+    python -m repro query --dir .repro-cache --where mode=C+B \
+        --agg total_runtime          # filter + aggregate stored runs
     python -m repro table1            # Table I from the machine model
     python -m repro fig3              # fabric bandwidth/latency curves
     python -m repro fig7 [--steps N]  # single-node mode comparison
@@ -324,8 +326,12 @@ def render_cache_stats(stats: dict, title: str = "Result cache") -> str:
         ("store", stats.get("root", "-")),
         ("entries", str(stats.get("entries", 0))),
         ("stored bytes", f"{stats.get('stored_bytes', 0):,}"),
-        ("hits", str(stats.get("hits", 0))),
+        ("hits (memory / disk)",
+         f"{stats.get('hits', 0)} ({stats.get('lru_hits', 0)} / "
+         f"{stats.get('disk_hits', 0)})"),
         ("misses", str(stats.get("misses", 0))),
+        ("LRU tier (held / capacity)",
+         f"{stats.get('lru_entries', 0)} / {stats.get('lru_capacity', 0)}"),
         ("bytes read", f"{stats.get('bytes_read', 0):,}"),
         ("bytes written", f"{stats.get('bytes_written', 0):,}"),
     ]
@@ -703,33 +709,137 @@ def cmd_submit(args) -> str:
 
 
 def cmd_cache(args) -> str:
-    """Manage a result store: stats, prune, verify."""
+    """Manage a result store: stats, prune, verify, export, import."""
     cache = ResultCache(args.dir)
     if args.verb == "stats":
         return render_cache_stats(cache.stats())
     if args.verb == "prune":
-        outcome = cache.prune(max_bytes=args.max_bytes)
+        outcome = cache.prune(
+            max_bytes=args.max_bytes,
+            policy=args.policy,
+            max_age_s=args.max_age_s,
+        )
         return (
             f"pruned {outcome['removed']} entr"
             f"{'y' if outcome['removed'] == 1 else 'ies'} "
             f"({outcome['freed_bytes']:,} bytes freed, "
-            f"{outcome['kept']} kept)"
+            f"{outcome['kept']} kept, policy {outcome['policy']})"
+        )
+    if args.verb == "export":
+        if not args.out:
+            raise ValueError("cache export needs --out FILE")
+        outcome = cache.export_bundle(args.out, where=args.where or None)
+        return (
+            f"exported {outcome['exported']} entr"
+            f"{'y' if outcome['exported'] == 1 else 'ies'} "
+            f"({outcome['bytes']:,} bytes) to {outcome['path']}"
+        )
+    if args.verb == "import":
+        if not args.file:
+            raise ValueError("cache import needs --file BUNDLE")
+        outcome = cache.import_bundle(args.file)
+        return (
+            f"imported {outcome['imported']} entr"
+            f"{'y' if outcome['imported'] == 1 else 'ies'}, "
+            f"{outcome['coalesced']} already present (coalesced), "
+            f"{outcome['skipped_salt']} skipped (foreign salt)"
         )
     # verify
     outcome = cache.verify(repair=args.repair)
+    idx = outcome["index"]
     lines = [
         f"{outcome['ok']} entr{'y' if outcome['ok'] == 1 else 'ies'} ok, "
         f"{len(outcome['corrupt'])} corrupt, "
-        f"{len(outcome['mismatched'])} key-mismatched"
+        f"{len(outcome['mismatched'])} key-mismatched; index "
+        + ("STALE" if idx["stale"] else "consistent")
     ]
     for name in outcome["corrupt"]:
         lines.append(f"  corrupt: {name}")
     for name in outcome["mismatched"]:
         lines.append(f"  mismatched: {name}")
+    for key in idx["unindexed_blobs"]:
+        lines.append(f"  unindexed blob: {key}")
+    for key in idx["dangling_rows"]:
+        lines.append(f"  dangling index row: {key}")
+    if idx["dropped_lines"]:
+        lines.append(f"  torn/invalid index lines: {idx['dropped_lines']}")
     if args.repair:
         lines.append(f"removed {outcome['removed']} bad entr"
-                     f"{'y' if outcome['removed'] == 1 else 'ies'}")
+                     f"{'y' if outcome['removed'] == 1 else 'ies'}; "
+                     "index rebuilt from blobs")
     return "\n".join(lines)
+
+
+def cmd_query(args) -> str:
+    """Filter + aggregate stored runs from the store's columnar index."""
+    cache = ResultCache(args.dir)
+    fields = [f.strip() for f in (args.fields or "").split(",") if f.strip()]
+    rows = cache.query(
+        where=args.where or None, fields=fields, limit=args.limit
+    )
+    shown = [
+        "key", "app", "mode", "preset", "steps", "nodes_per_solver",
+        "total_runtime",
+    ] + [f for f in fields if f not in (
+        "key", "app", "mode", "preset", "steps", "nodes_per_solver",
+        "total_runtime",
+    )]
+
+    def _cell(v) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return f"{v:.4f}"
+        return str(v)
+
+    table_rows = [
+        tuple(
+            (r["key"][:10] if c == "key" else _cell(r.get(c)))
+            for c in shown
+        )
+        for r in rows
+    ]
+    where_label = " ".join(args.where) if args.where else "all runs"
+    out = [
+        render_table(
+            shown,
+            table_rows,
+            title=f"Stored runs: {where_label} ({len(rows)} matched)",
+        )
+    ]
+    if args.agg:
+        agg = cache.aggregate(args.agg, where=args.where or None)
+        if agg["count"]:
+            out.append("")
+            out.append(
+                render_table(
+                    ["Statistic", "Value"],
+                    [
+                        ("count", str(agg["count"])),
+                        ("mean", f"{agg['mean']:.4f}"),
+                        ("min", f"{agg['min']:.4f}"),
+                        ("max", f"{agg['max']:.4f}"),
+                        ("p50", f"{agg['p50']:.4f}"),
+                        ("p90", f"{agg['p90']:.4f}"),
+                        ("p99", f"{agg['p99']:.4f}"),
+                    ],
+                    title=f"Aggregate: {args.agg}",
+                )
+            )
+        else:
+            out.append(f"\nno numeric values of {args.agg!r} matched")
+    if args.json:
+        import json as _json
+        import pathlib
+
+        doc = {"rows": rows}
+        if args.agg:
+            doc["aggregate"] = cache.aggregate(
+                args.agg, where=args.where or None
+            )
+        pathlib.Path(args.json).write_text(_json.dumps(doc, indent=2))
+        out.append(f"\nquery result JSON written to {args.json}")
+    return "\n".join(out)
 
 
 def cmd_bench(args) -> str:
@@ -1147,13 +1257,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fraction below each baseline floor (default 0.30)",
     )
     ca = sub.add_parser(
-        "cache", help="manage a content-addressed result store"
+        "cache", help="manage a tiered content-addressed result store"
     )
     ca.add_argument(
         "verb",
-        choices=["stats", "prune", "verify"],
-        help="stats: size + counters; prune: evict oldest entries; "
-        "verify: audit entry integrity",
+        choices=["stats", "prune", "verify", "export", "import"],
+        help="stats: size + tier counters; prune: evict by policy; "
+        "verify: audit entries + index (--repair rebuilds); "
+        "export/import: exchange entry bundles between stores",
     )
     ca.add_argument(
         "--dir",
@@ -1169,9 +1280,85 @@ def build_parser() -> argparse.ArgumentParser:
         "clear everything)",
     )
     ca.add_argument(
+        "--policy",
+        default="age",
+        choices=["age", "size", "hit-rate"],
+        help="prune: victim ordering — oldest, largest, or fewest "
+        "session hits first (default age)",
+    )
+    ca.add_argument(
+        "--max-age-s",
+        type=float,
+        default=None,
+        help="prune: also drop entries older than this many seconds",
+    )
+    ca.add_argument(
         "--repair",
         action="store_true",
-        help="verify: delete corrupt or key-mismatched entries",
+        help="verify: delete corrupt or key-mismatched entries and "
+        "rebuild the index from the blobs",
+    )
+    ca.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="export: write the bundle JSON here",
+    )
+    ca.add_argument(
+        "--file",
+        metavar="FILE",
+        default=None,
+        help="import: the bundle JSON to fold in",
+    )
+    ca.add_argument(
+        "--where",
+        metavar="PRED",
+        action="append",
+        default=None,
+        help="export: only entries matching COLUMN OP VALUE predicates "
+        "(repeatable, e.g. --where mode=C+B --where steps>=100)",
+    )
+    qr = sub.add_parser(
+        "query",
+        help="filter + aggregate stored runs from the store's columnar "
+        "index (no report blobs are read for index columns)",
+    )
+    qr.add_argument(
+        "--dir",
+        metavar="DIR",
+        required=True,
+        help="the result store directory",
+    )
+    qr.add_argument(
+        "--where",
+        metavar="PRED",
+        action="append",
+        default=None,
+        help="COLUMN OP VALUE predicate over index columns (repeatable); "
+        "e.g. --where mode=C+B --where nodes_per_solver=8",
+    )
+    qr.add_argument(
+        "--fields",
+        default=None,
+        help="comma-separated extra columns; dotted report paths "
+        "(e.g. network.total_bytes) load only the matched blobs",
+    )
+    qr.add_argument(
+        "--agg",
+        metavar="FIELD",
+        default=None,
+        help="aggregate this column over the matches "
+        "(count/mean/min/max/p50/p90/p99)",
+    )
+    qr.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="show at most this many rows (newest first)",
+    )
+    qr.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the matched rows (and aggregate) as JSON",
     )
     for name, hlp in (
         ("fig7", "Fig 7: single-node mode comparison"),
@@ -1271,6 +1458,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "submit": cmd_submit,
         "bench": cmd_bench,
         "cache": cmd_cache,
+        "query": cmd_query,
         "table1": cmd_table1,
         "fig3": cmd_fig3,
         "fig7": cmd_fig7,

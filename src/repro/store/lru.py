@@ -1,0 +1,90 @@
+"""Tier 0 of the result store: a bounded in-memory LRU of reports.
+
+A warm hit through this tier costs one ordered-dict lookup — no file
+open, no ``json.loads``, no checksum — which is what lets cache-hit
+resolution at service admission time and all-hit sweeps run at
+hundreds of thousands of probes per second instead of being bounded
+by disk parse throughput.
+
+The tier stores the *parsed entry payload* (the report's JSON dict as
+it round-tripped through the disk encoding), not the live
+:class:`~repro.engine.RunReport` the engine produced, so a hit served
+from memory is bit-identical to one served from disk — including the
+JSON normalization (tuples to lists) the blob write applies.  Callers
+receive a fresh ``RunReport`` wrapper per hit; the payload dicts are
+shared and treated as immutable, like every report in the stack.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["ReportLRU"]
+
+
+class ReportLRU:
+    """Bounded LRU mapping cache key -> normalized report dict.
+
+    ``capacity`` is the entry bound (0 disables the tier entirely:
+    every probe misses and nothing is retained).  Eviction is strict
+    least-recently-used; both hits and inserts refresh recency.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError(f"LRU capacity cannot be negative ({capacity})")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored report dict of ``key`` (refreshing recency), or
+        None; counts a tier hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, report_dict: dict) -> None:
+        """Insert (or refresh) one entry, evicting the coldest past
+        the capacity bound."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = report_dict
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def discard(self, key: str) -> None:
+        """Drop one entry if present (eviction/prune path)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Empty the tier (counters survive)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Occupancy and tier hit counters."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,205 @@
+"""Filter + aggregate over stored runs — from the index alone.
+
+``repro query`` and :meth:`repro.api.Session.query` answer questions
+like *"p99 runtime of C+B configs at 8 nodes per solver"* over a store
+of thousands of reports without opening a single report blob: the
+predicates and the aggregated column are resolved against the
+columnar index rows.  Only when a requested field is **not** an index
+column (a dotted path into the report, e.g. ``mpi.total_p2p_bytes``)
+are the matching entries' blobs loaded — and only those.
+
+Predicates are ``column OP value`` strings (``mode=C+B``,
+``steps>=100``, ``total_runtime<2.5``); values are compared
+numerically when both sides parse as numbers, as strings otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "matches",
+    "parse_predicates",
+    "percentile",
+    "run_aggregate",
+    "run_query",
+]
+
+#: comparison operators, longest first so ``>=`` wins over ``>``
+_OPS = (">=", "<=", "!=", "==", ">", "<", "=")
+
+
+def _coerce(text: str):
+    """A number when the text parses as one, else the string itself."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_predicates(where) -> List[Tuple[str, str, object]]:
+    """Normalize a ``where`` clause into (column, op, value) triples.
+
+    Accepts None, a dict (equality per key), one predicate string, or
+    a sequence of predicate strings/triples.  Raises ``ValueError``
+    for a string with no recognizable operator.
+    """
+    if where is None:
+        return []
+    if isinstance(where, dict):
+        return [(k, "=", v) for k, v in sorted(where.items())]
+    if isinstance(where, str):
+        where = [where]
+    preds: List[Tuple[str, str, object]] = []
+    for item in where:
+        if isinstance(item, tuple) and len(item) == 3:
+            preds.append(item)
+            continue
+        text = str(item)
+        for op in _OPS:
+            col, sep, val = text.partition(op)
+            if sep and col:
+                preds.append((col.strip(), op, _coerce(val.strip())))
+                break
+        else:
+            raise ValueError(
+                f"bad predicate {text!r} (expected COLUMN OP VALUE with "
+                f"OP one of {', '.join(_OPS)})"
+            )
+    return preds
+
+
+def _compare(actual, op: str, wanted) -> bool:
+    if actual is None:
+        return False
+    if isinstance(wanted, (int, float)) and not isinstance(
+        actual, (int, float)
+    ):
+        return False
+    if not isinstance(wanted, (int, float)):
+        actual = str(actual)
+        wanted = str(wanted)
+    if op in ("=", "=="):
+        return actual == wanted
+    if op == "!=":
+        return actual != wanted
+    if op == ">=":
+        return actual >= wanted
+    if op == "<=":
+        return actual <= wanted
+    if op == ">":
+        return actual > wanted
+    return actual < wanted
+
+
+def matches(row: dict, key: str, preds: Iterable[Tuple[str, str, object]]) -> bool:
+    """True when one index row satisfies every predicate (the ``key``
+    pseudo-column matches on prefix equality, so short hashes work)."""
+    for col, op, wanted in preds:
+        if col == "key":
+            if not (op in ("=", "==") and str(key).startswith(str(wanted))):
+                return False
+            continue
+        if not _compare(row.get(col), op, wanted):
+            return False
+    return True
+
+
+def _dig(entry: dict, path: str):
+    """Resolve a dotted path into a cache entry's report payload."""
+    node = (entry or {}).get("report", {})
+    for part in path.split("."):
+        if not isinstance(node, dict):
+            return None
+        node = node.get(part)
+    return node
+
+
+def run_query(
+    cache,
+    where=None,
+    fields: Optional[Sequence[str]] = None,
+    limit: Optional[int] = None,
+) -> List[dict]:
+    """Filtered rows of the store, newest first.
+
+    Each row carries ``key`` plus every index column; ``fields`` adds
+    extra columns, resolved from the index when possible and from the
+    report blob (dotted path, loaded only for matched rows) otherwise.
+    ``limit`` caps the row count after sorting.
+    """
+    preds = parse_predicates(where)
+    rows = []
+    for key, cols in cache._index.iter_rows():
+        if preds and not matches(cols, key, preds):
+            continue
+        rows.append({"key": key, **cols})
+    rows.sort(key=lambda r: (-r.get("mtime", 0.0), r["key"]))
+    if limit is not None:
+        rows = rows[: max(0, int(limit))]
+    extra = [
+        f for f in (fields or []) if f != "key" and f not in (rows[0] if rows else {})
+    ]
+    for field in extra:
+        for row in rows:
+            entry = cache._load_entry(row["key"])
+            row[field] = None if entry is None else _dig(entry, field)
+    return rows
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100]) of a non-empty
+    sequence."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def run_aggregate(cache, field: str, where=None) -> dict:
+    """count/sum/mean/min/max/p50/p90/p99 of one column over the
+    filtered runs.
+
+    Index columns aggregate without touching a blob; a dotted report
+    path falls back to loading the matched entries.  Rows where the
+    field is absent or non-numeric are skipped (reported as
+    ``skipped``).
+    """
+    rows = run_query(cache, where=where, fields=[field])
+    values = [
+        r.get(field)
+        for r in rows
+        if isinstance(r.get(field), (int, float))
+        and not isinstance(r.get(field), bool)
+    ]
+    out = {
+        "field": field,
+        "count": len(values),
+        "skipped": len(rows) - len(values),
+    }
+    if values:
+        out.update(
+            {
+                "sum": float(sum(values)),
+                "mean": float(sum(values)) / len(values),
+                "min": float(min(values)),
+                "max": float(max(values)),
+                "p50": percentile(values, 50),
+                "p90": percentile(values, 90),
+                "p99": percentile(values, 99),
+            }
+        )
+    return out

@@ -155,3 +155,20 @@ def test_spec_positional_shim_rejects_bad_calls():
             ExperimentSpec(*(["x"] * 40))  # more args than fields
         with pytest.raises(TypeError, match="preset"):
             ExperimentSpec("deep-er", preset="deep-est")  # duplicate
+
+
+def test_session_query_and_aggregate(tmp_path):
+    s = Session(cache=tmp_path / "store")
+    for steps in (3, 4):
+        s.run(mode="cb", steps=steps)
+    rows = s.query(where=["mode=C+B"])
+    assert {r["steps"] for r in rows} == {3, 4}
+    agg = s.aggregate("total_runtime", where="steps>=4")
+    assert agg["count"] == 1 and agg["mean"] > 0
+
+
+def test_session_query_without_cache_raises():
+    with pytest.raises(ValueError, match="no result cache"):
+        Session().query()
+    with pytest.raises(ValueError, match="no result cache"):
+        Session().aggregate("total_runtime")

@@ -206,3 +206,75 @@ def test_cache_command_verbs(tmp_path, capsys):
     assert "pruned 1 entry" in capsys.readouterr().out
     assert main(["cache", "stats", "--dir", store]) == 0
     capsys.readouterr()
+
+
+def test_cache_export_import_verbs(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    other = str(tmp_path / "other")
+    bundle = str(tmp_path / "bundle.json")
+    assert main(
+        ["run", "--mode", "cb", "--steps", "2", "--cache", store]
+    ) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "export", "--dir", store, "--out", bundle]) == 0
+    assert "exported 1 entry" in capsys.readouterr().out
+
+    assert main(["cache", "import", "--dir", other, "--file", bundle]) == 0
+    assert "imported 1 entry" in capsys.readouterr().out
+    # importing again coalesces instead of duplicating
+    assert main(["cache", "import", "--dir", other, "--file", bundle]) == 0
+    assert "1 already present" in capsys.readouterr().out
+
+    assert main(["cache", "export", "--dir", store]) == 2
+    assert "needs --out" in capsys.readouterr().err
+    assert main(["cache", "import", "--dir", store]) == 2
+    assert "needs --file" in capsys.readouterr().err
+
+
+def test_cache_verify_repair_rebuilds_index(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(
+        ["run", "--mode", "cluster", "--steps", "2", "--cache", str(store)]
+    ) == 0
+    capsys.readouterr()
+    with open(store / "index.jsonl", "a") as fh:
+        fh.write('{"op":"put","key":"deadbeef","si')  # torn final line
+
+    assert main(["cache", "verify", "--dir", str(store)]) == 0
+    assert "index STALE" in capsys.readouterr().out
+    assert main(["cache", "verify", "--dir", str(store), "--repair"]) == 0
+    assert "index rebuilt from blobs" in capsys.readouterr().out
+    assert main(["cache", "verify", "--dir", str(store)]) == 0
+    assert "index consistent" in capsys.readouterr().out
+
+
+def test_query_command(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    for steps in ("2", "3"):
+        assert main(
+            ["run", "--mode", "cb", "--steps", steps, "--cache", store]
+        ) == 0
+    capsys.readouterr()
+
+    assert main(
+        ["query", "--dir", store, "--where", "mode=C+B",
+         "--agg", "total_runtime"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "2 matched" in out
+    assert "Aggregate: total_runtime" in out
+
+    json_path = tmp_path / "query.json"
+    assert main(
+        ["query", "--dir", store, "--where", "steps>=3",
+         "--json", str(json_path)]
+    ) == 0
+    capsys.readouterr()
+    import json
+
+    doc = json.loads(json_path.read_text())
+    assert len(doc["rows"]) == 1 and doc["rows"][0]["steps"] == 3
+
+    assert main(["query", "--dir", store, "--where", "steps~3"]) == 2
+    assert "predicate" in capsys.readouterr().err

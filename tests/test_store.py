@@ -1,0 +1,486 @@
+"""Tests for the tiered result store: LRU tier, columnar index,
+eviction policies, export/import bundles, concurrency, and the
+index-only query path."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.engine import Engine, ExperimentSpec, RunReport
+from repro.store import (
+    BUNDLE_SCHEMA,
+    INDEX_SCHEMA,
+    ReportLRU,
+    ResultCache,
+    parse_predicates,
+    percentile,
+)
+
+
+def tiny_report(spec: ExperimentSpec, runtime: float = 1.0,
+                filler: int = 0) -> RunReport:
+    """A minimal, JSON-safe report for store tests (no simulation)."""
+    return RunReport(
+        spec=spec.to_dict(),
+        result={
+            "app": spec.app,
+            "mode": spec.mode,
+            "steps": spec.steps,
+            "nodes_per_solver": spec.nodes_per_solver,
+            "total_runtime": runtime,
+            "comm_overhead_fraction": 0.1,
+            "filler": "x" * filler,
+        },
+        sim={"events_processed": 10},
+        network={"total_bytes": 1234, "total_messages": 7},
+        mpi={},
+        phases={},
+    )
+
+
+def spec_of(steps: int, mode: str = "cluster", nodes: int = 1) -> ExperimentSpec:
+    return ExperimentSpec(mode=mode, steps=steps, nodes_per_solver=nodes)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultCache(tmp_path / "store")
+
+
+# -- tier 0: the LRU ---------------------------------------------------------
+
+def test_lru_bound_respected_under_churn():
+    lru = ReportLRU(capacity=4)
+    for i in range(32):
+        lru.put(f"k{i}", {"i": i})
+        assert len(lru) <= 4
+    assert lru.evictions == 28
+    # the four newest survive, strictly LRU
+    assert [k for k in ("k28", "k29", "k30", "k31") if k in lru] == [
+        "k28", "k29", "k30", "k31"
+    ]
+    # a hit refreshes recency: k28 outlives a later insert
+    assert lru.get("k28") == {"i": 28}
+    lru.put("k99", {"i": 99})
+    assert "k28" in lru and "k29" not in lru
+
+
+def test_lru_capacity_zero_disables_tier(tmp_path):
+    cache = ResultCache(tmp_path, lru_entries=0)
+    spec = spec_of(3)
+    cache.put(spec, tiny_report(spec))
+    assert cache.get(spec) is not None
+    assert cache.lru_hits == 0 and cache.disk_hits == 1
+
+
+def test_store_lru_bound_and_promotion(tmp_path):
+    cache = ResultCache(tmp_path, lru_entries=4)
+    specs = [spec_of(s) for s in range(1, 11)]
+    for s in specs:
+        cache.put(s, tiny_report(s))
+    assert cache.stats()["lru_entries"] == 4
+    # oldest put fell out of tier 0 -> disk hit; then promoted back
+    assert cache.get(specs[0]) is not None
+    assert cache.disk_hits == 1
+    assert cache.get(specs[0]) is not None
+    assert cache.lru_hits == 1
+
+
+def test_negative_lru_capacity_rejected():
+    with pytest.raises(ValueError):
+        ReportLRU(capacity=-1)
+
+
+# -- stats: O(1), never a tree walk -----------------------------------------
+
+def test_stats_never_walks_the_blob_tree(store, monkeypatch):
+    for s in range(2, 6):
+        spec = spec_of(s)
+        store.put(spec, tiny_report(spec))
+
+    def _forbidden(self):  # pragma: no cover - the probe itself
+        raise AssertionError("stats() must not walk the blob tree")
+
+    monkeypatch.setattr(ResultCache, "_entry_paths", _forbidden)
+    stats = store.stats()
+    assert stats["entries"] == 4
+    assert stats["stored_bytes"] > 0
+    # membership probes and prune victim selection stay tree-free too
+    assert store.get(spec_of(99)) is None
+    assert store.prune(max_bytes=stats["stored_bytes"])["removed"] == 0
+
+
+def test_stats_track_puts_and_evictions(store):
+    spec = spec_of(2)
+    store.put(spec, tiny_report(spec))
+    before = store.stats()
+    assert before["entries"] == 1
+    store.prune()
+    after = store.stats()
+    assert after["entries"] == 0 and after["stored_bytes"] == 0
+
+
+# -- eviction policies -------------------------------------------------------
+
+def test_prune_by_age_removes_oldest_first(store):
+    specs = [spec_of(s) for s in (2, 3, 4)]
+    keys = [store.put(s, tiny_report(s)) for s in specs]
+    for i, key in enumerate(keys):
+        store._index.rows[key]["mtime"] = float(i)  # 0 oldest
+    stats = store.stats()
+    survivor_budget = stats["stored_bytes"] - 1  # forces exactly one eviction
+    out = store.prune(max_bytes=survivor_budget, policy="age")
+    assert out["removed"] == 1 and out["kept"] == 2
+    assert store.get(specs[0]) is None          # the oldest died
+    assert store.get(specs[1]) is not None
+    assert store.get(specs[2]) is not None
+
+
+def test_prune_by_size_removes_largest_first(store):
+    small = spec_of(2)
+    big = spec_of(3)
+    store.put(small, tiny_report(small))
+    store.put(big, tiny_report(big, filler=4096))
+    total = store.stats()["stored_bytes"]
+    out = store.prune(max_bytes=total - 1, policy="size")
+    assert out["removed"] == 1
+    assert store.get(big) is None and store.get(small) is not None
+
+
+def test_prune_by_hit_rate_keeps_the_hot_entry(store):
+    cold = spec_of(2)
+    hot = spec_of(3)
+    store.put(cold, tiny_report(cold))
+    store.put(hot, tiny_report(hot))
+    for _ in range(5):
+        assert store.get(hot) is not None
+    total = store.stats()["stored_bytes"]
+    out = store.prune(max_bytes=total - 1, policy="hit-rate")
+    assert out["removed"] == 1
+    assert store.get(cold) is None and store.get(hot) is not None
+
+
+def test_prune_by_age_cutoff(store):
+    old = spec_of(2)
+    new = spec_of(3)
+    k_old = store.put(old, tiny_report(old))
+    store.put(new, tiny_report(new))
+    store._index.rows[k_old]["mtime"] -= 3600.0
+    out = store.prune(max_age_s=60.0)
+    assert out["removed"] == 1
+    assert store.get(old) is None and store.get(new) is not None
+
+
+def test_prune_keeps_index_and_blobs_consistent(store):
+    for s in range(2, 8):
+        spec = spec_of(s)
+        store.put(spec, tiny_report(spec))
+    store.prune(max_bytes=store.stats()["stored_bytes"] // 2)
+    audit = store.verify()
+    assert not audit["index"]["stale"]
+    assert audit["ok"] == store.stats()["entries"]
+    # a reopened store replays to the same view
+    reopened = ResultCache(store.root)
+    assert reopened.stats()["entries"] == store.stats()["entries"]
+
+
+def test_prune_rejects_unknown_policy_and_negative_budget(store):
+    with pytest.raises(ValueError):
+        store.prune(max_bytes=-1)
+    with pytest.raises(ValueError):
+        store.prune(policy="random")
+
+
+# -- export / import ---------------------------------------------------------
+
+def test_export_import_round_trip_is_bit_identical(store, tmp_path):
+    specs = [spec_of(s) for s in (2, 3, 4)]
+    originals = {}
+    for s in specs:
+        store.put(s, tiny_report(s, runtime=s.steps * 0.5))
+        originals[store.key_for(s)] = store.get(s).to_dict()
+
+    bundle = tmp_path / "bundle.json"
+    out = store.export_bundle(bundle)
+    assert out["exported"] == 3
+    assert json.loads(bundle.read_text())["schema"] == BUNDLE_SCHEMA
+
+    fresh = ResultCache(tmp_path / "other")
+    res = fresh.import_bundle(bundle)
+    assert res["imported"] == 3 and res["coalesced"] == 0
+    for s in specs:
+        assert fresh.get(s).to_dict() == originals[fresh.key_for(s)]
+    # duplicates coalesce on re-import
+    res = fresh.import_bundle(bundle)
+    assert res["imported"] == 0 and res["coalesced"] == 3
+    assert fresh.stats()["entries"] == 3
+
+
+def test_export_with_where_filters_entries(store, tmp_path):
+    for s, mode in ((2, "cluster"), (3, "cb"), (4, "cb")):
+        spec = spec_of(s, mode=mode)
+        store.put(spec, tiny_report(spec))
+    out = store.export_bundle(tmp_path / "cb.json", where=["mode=C+B"])
+    assert out["exported"] == 2
+
+
+def test_import_skips_foreign_salt(store, tmp_path):
+    foreign = ResultCache(tmp_path / "foreign", salt="other-release")
+    spec = spec_of(2)
+    foreign.put(spec, tiny_report(spec))
+    bundle = tmp_path / "foreign.json"
+    foreign.export_bundle(bundle)
+    res = store.import_bundle(bundle)
+    assert res["imported"] == 0 and res["skipped_salt"] == 1
+    assert store.stats()["entries"] == 0
+
+
+def test_import_rejects_non_bundle(store, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "something/else"}))
+    with pytest.raises(ValueError):
+        store.import_bundle(bad)
+
+
+def test_engine_report_identical_through_every_tier(tmp_path):
+    """Acceptance: LRU tier, disk tier, and an export/import round trip
+    all return Engine.run output bit-for-bit."""
+    spec = ExperimentSpec(mode="cb", steps=3)
+    fresh = Engine().run(spec)
+    want = fresh.to_dict()
+
+    a = ResultCache(tmp_path / "a")
+    a.put(spec, fresh)
+    assert a.get(spec).to_dict() == want          # tier 0
+    cold = ResultCache(tmp_path / "a")
+    assert cold.get(spec).to_dict() == want       # tier 1
+    bundle = tmp_path / "bundle.json"
+    a.export_bundle(bundle)
+    b = ResultCache(tmp_path / "b")
+    b.import_bundle(bundle)
+    assert b.get(spec).to_dict() == want          # exchanged store
+
+
+# -- index integrity, rebuild, adoption --------------------------------------
+
+def test_index_rebuilt_from_blobs_after_deletion(store):
+    specs = [spec_of(s) for s in (2, 3)]
+    for s in specs:
+        store.put(s, tiny_report(s))
+    (store.root / "index.jsonl").unlink()
+    reopened = ResultCache(store.root)  # adopts the bare blob tree
+    assert reopened.stats()["entries"] == 2
+    for s in specs:
+        assert reopened.get(s) is not None
+
+
+def test_truncated_index_detected_and_repaired(store):
+    spec = spec_of(2)
+    store.put(spec, tiny_report(spec))
+    with open(store.root / "index.jsonl", "a") as fh:
+        fh.write('{"op":"put","key":"deadbeef","si')  # torn final line
+    reopened = ResultCache(store.root)
+    assert reopened.stats()["entries"] == 1  # torn line dropped, not fatal
+    audit = reopened.verify()
+    assert audit["index"]["stale"] and audit["index"]["dropped_lines"] == 1
+    audit = reopened.verify(repair=True)
+    assert audit["index"]["rebuilt"]
+    assert not ResultCache(store.root).verify()["index"]["stale"]
+
+
+def test_unindexed_blob_detected_and_recovered(store):
+    spec = spec_of(2)
+    key = store.put(spec, tiny_report(spec))
+    # simulate a writer that crashed between blob write and index append
+    other = spec_of(3)
+    entry = json.loads(store.path_for(key).read_text())
+    entry["spec"] = other.to_dict()
+    entry["key"] = store.key_for(other)
+    blob = store.path_for(entry["key"])
+    blob.parent.mkdir(parents=True, exist_ok=True)
+    blob.write_text(json.dumps(entry, sort_keys=True))
+
+    assert store.get(other) is None  # not indexed -> miss, no error
+    audit = store.verify()
+    assert audit["index"]["stale"]
+    assert audit["index"]["unindexed_blobs"] == [entry["key"]]
+    store.verify(repair=True)
+    assert store.get(other) is not None
+
+
+def test_foreign_schema_index_is_rebuilt(store):
+    spec = spec_of(2)
+    store.put(spec, tiny_report(spec))
+    index = store.root / "index.jsonl"
+    lines = index.read_text().splitlines()
+    lines[0] = json.dumps({"op": "header", "schema": "repro.cache_index/0"})
+    index.write_text("\n".join(lines) + "\n")
+    reopened = ResultCache(store.root)
+    assert reopened.stats()["entries"] == 1
+    assert json.loads(
+        (store.root / "index.jsonl").read_text().splitlines()[0]
+    )["schema"] == INDEX_SCHEMA
+
+
+def test_refresh_sees_other_writers_appends(store):
+    a = store
+    b = ResultCache(a.root)
+    spec = spec_of(5)
+    a.put(spec, tiny_report(spec))
+    assert b.get(spec) is None  # b's index predates the put
+    assert b.refresh() == 1
+    assert b.get(spec) is not None
+
+
+# -- concurrent writers ------------------------------------------------------
+
+def _stress_writer(root, worker_id, n_disjoint, barrier):
+    """Hammer one store: everyone races the same shared key, then puts
+    its own disjoint keys."""
+    cache = ResultCache(root)
+    shared = ExperimentSpec(mode="cb", steps=7)
+    shared_report = tiny_report(shared, runtime=2.5)
+    barrier.wait()
+    for i in range(n_disjoint):
+        cache.put(shared, shared_report)
+        spec = ExperimentSpec(
+            mode="cluster", steps=10 + i, nodes_per_solver=worker_id + 1
+        )
+        cache.put(spec, tiny_report(spec, runtime=float(i)))
+
+
+def test_concurrent_writers_leave_no_torn_state(tmp_path):
+    root = tmp_path / "store"
+    parent = ResultCache(root)  # settle adoption before the race
+    workers, puts = 4, 12
+    barrier = multiprocessing.Barrier(workers)
+    procs = [
+        multiprocessing.Process(
+            target=_stress_writer, args=(str(root), w, puts, barrier)
+        )
+        for w in range(workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+
+    fresh = ResultCache(root)
+    # one shared key + workers*puts disjoint keys, every one retrievable
+    assert fresh.stats()["entries"] == 1 + workers * puts
+    shared = ExperimentSpec(mode="cb", steps=7)
+    assert fresh.get(shared).to_dict() == tiny_report(
+        shared, runtime=2.5
+    ).to_dict()
+    for w in range(workers):
+        for i in range(puts):
+            spec = ExperimentSpec(
+                mode="cluster", steps=10 + i, nodes_per_solver=w + 1
+            )
+            got = fresh.get(spec)
+            assert got is not None
+            assert got.to_dict() == tiny_report(spec, runtime=float(i)).to_dict()
+    audit = fresh.verify()
+    assert not audit["corrupt"] and not audit["mismatched"]
+    assert audit["index"]["dropped_lines"] == 0
+    assert not audit["index"]["stale"]
+
+
+# -- query / aggregate -------------------------------------------------------
+
+def _populate_grid(cache, n=1000):
+    """n stored runs over a mode x nodes grid with varied runtimes."""
+    runtimes = []
+    for i in range(n):
+        mode = ("cluster", "booster", "cb")[i % 3]
+        nodes = (1, 2, 4, 8)[i % 4]
+        spec = ExperimentSpec(mode=mode, steps=100 + i, nodes_per_solver=nodes)
+        rt = 1.0 + (i % 17) * 0.25
+        cache.put(spec, tiny_report(spec, runtime=rt))
+        if mode == "cb" and nodes == 8:
+            runtimes.append(rt)
+    return runtimes
+
+
+def test_query_over_1000_reports_is_index_only(tmp_path):
+    cache = ResultCache(tmp_path, lru_entries=0)
+    expected = _populate_grid(cache, n=1000)
+    # a fresh instance: nothing cached in memory but the index
+    q = ResultCache(tmp_path, lru_entries=0)
+    rows = q.query(where=["mode=C+B", "nodes_per_solver=8"])
+    assert len(rows) == len(expected) > 0
+    agg = q.aggregate(
+        "total_runtime", where=["mode=C+B", "nodes_per_solver=8"]
+    )
+    assert q.blob_loads == 0, "query/aggregate must not open report blobs"
+    assert agg["count"] == len(expected)
+    assert agg["p99"] == pytest.approx(percentile(expected, 99))
+    assert agg["mean"] == pytest.approx(sum(expected) / len(expected))
+
+
+def test_query_predicates_and_limit(store):
+    _populate_grid(store, n=60)
+    assert len(store.query(where="steps>=130")) == 30
+    assert len(store.query(where=["steps>=130", "steps<140"])) == 10
+    assert len(store.query(where={"mode": "Cluster"})) == 20
+    assert len(store.query(where="steps>=130", limit=5)) == 5
+    # newest first: descending index mtimes
+    rows = store.query(limit=10)
+    mtimes = [r["mtime"] for r in rows]
+    assert mtimes == sorted(mtimes, reverse=True)
+    with pytest.raises(ValueError):
+        store.query(where=["steps~10"])
+
+
+def test_query_dotted_fields_load_only_matched_blobs(store):
+    _populate_grid(store, n=30)
+    store.blob_loads = 0
+    rows = store.query(
+        where={"mode": "C+B"}, fields=["network.total_bytes"]
+    )
+    assert rows and all(r["network.total_bytes"] == 1234 for r in rows)
+    assert store.blob_loads == len(rows)
+
+
+def test_query_key_prefix_predicate(store):
+    spec = spec_of(2)
+    key = store.put(spec, tiny_report(spec))
+    assert store.query(where=[f"key={key[:8]}"])[0]["key"] == key
+
+
+def test_aggregate_skips_non_numeric(store):
+    spec = spec_of(2)
+    store.put(spec, tiny_report(spec))
+    agg = store.aggregate("mode")
+    assert agg["count"] == 0 and agg["skipped"] == 1
+
+
+def test_parse_predicates_and_percentile_edges():
+    assert parse_predicates(None) == []
+    assert parse_predicates("steps>=10") == [("steps", ">=", 10)]
+    assert parse_predicates({"a": 1, "b": "x"}) == [
+        ("a", "=", 1), ("b", "=", "x")
+    ]
+    assert percentile([5.0], 99) == 5.0
+    assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+# -- key memoization ---------------------------------------------------------
+
+def test_memoized_key_matches_fresh_derivation(store):
+    spec = spec_of(4)
+    first = store.key_for(spec)
+    assert store.key_for(spec) == first  # memoized path
+    # an identical spec built fresh (no memo) derives the same key
+    assert store.key_for(spec_of(4)) == first
+    # ...and the dict form (never memoized) agrees
+    assert store.key_for(spec.to_dict()) == first
+    # a different salt does not read the wrong memo slot
+    other = ResultCache(store.root, salt="other-release")
+    assert other.key_for(spec) != first
+    assert other.key_for(spec) == other.key_for(spec_of(4))
