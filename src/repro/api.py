@@ -64,6 +64,7 @@ class Session:
         self.cache = _coerce_cache(cache)
         self.workers = workers
         self.sim_backend = sim_backend
+        self._service = None  # lazily-owned service behind submit()
 
     # -- verbs ---------------------------------------------------------------
     def run(self, spec: Optional[ExperimentSpec] = None, /, **fields) -> RunReport:
@@ -107,13 +108,62 @@ class Session:
     def serve(self, **kwargs):
         """A new :class:`~repro.serve.ExperimentService` on this
         session's engine, cache, and worker width (each overridable by
-        keyword; see the service for queue/batch/retry knobs)."""
+        keyword; see the service for queue/batch/retry/durability
+        knobs)."""
         from .serve import ExperimentService
 
         kwargs.setdefault("engine", self.engine)
         kwargs.setdefault("cache", self.cache)
         kwargs.setdefault("workers", self.workers)
         return ExperimentService(**kwargs)
+
+    def submit(
+        self,
+        spec: Optional[ExperimentSpec] = None,
+        /,
+        priority: int = 0,
+        client: str = "api",
+        deadline_s: Optional[float] = None,
+        wait_timeout: Optional[float] = None,
+        **fields,
+    ):
+        """Submit one experiment to this session's service; returns the
+        :class:`~repro.serve.queue.Job` handle.
+
+        Accepts a ready spec or spec fields (like :meth:`run`).  The
+        session lazily owns one service (created on first use with the
+        session's engine/cache/workers; :meth:`close` shuts it down).
+        Backpressure is absorbed client-side: a full queue is retried
+        with decorrelated-jitter backoff honoring the service's
+        retry-after hint, for at most ``wait_timeout`` seconds of
+        waiting (None = keep retrying through the default attempt
+        budget), before the typed
+        :class:`~repro.serve.queue.QueueFull` escapes to the caller.
+        """
+        spec = self._spec(spec, fields)
+        if self._service is None or not self._service.started:
+            self._service = self.serve()
+        return self._service.submit_with_retry(
+            spec,
+            priority=priority,
+            client=client,
+            deadline_s=deadline_s,
+            wait_timeout_s=wait_timeout,
+        )
+
+    def close(self) -> None:
+        """Drain and shut down the session-owned service (if any)."""
+        if self._service is not None:
+            self._service.shutdown(drain=True)
+            self._service = None
+
+    def __enter__(self) -> "Session":
+        """Context-manager entry: the session itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
 
     # -- helpers -------------------------------------------------------------
     def machine(self, preset: str = "deep-er", **overrides):

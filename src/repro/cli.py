@@ -635,6 +635,14 @@ def render_service_metrics(stats: dict, title: str = "Experiment service") -> st
          f"{stats.get('failed', 0)}"),
         ("requeued (worker crash)", str(stats.get("requeued", 0))),
         ("batches", str(stats.get("batches", 0))),
+        ("recovered from journal", str(stats.get("recovered", 0))),
+        ("journal replays", str(stats.get("journal_replays", 0))),
+        ("quarantined (poison specs)",
+         f"{stats.get('quarantined', 0)} "
+         f"(+{stats.get('quarantine_hits', 0)} short-circuited)"),
+        ("deadline misses", str(stats.get("deadline_misses", 0))),
+        ("batch timeouts (watchdog)", str(stats.get("batch_timeouts", 0))),
+        ("heartbeat age", f"{stats.get('heartbeat_age_s', 0.0):.1f}s"),
         ("queue depth (now / peak)",
          f"{stats.get('queue_depth', 0)} / "
          f"{stats.get('peak_queue_depth', 0)}"),
@@ -646,10 +654,69 @@ def render_service_metrics(stats: dict, title: str = "Experiment service") -> st
     return render_table(["Metric", "Value"], rows, title=title)
 
 
+def render_serve_status(jobdir) -> str:
+    """One-shot liveness/metrics report of a served job directory."""
+    import json
+    from pathlib import Path
+
+    from .serve import read_heartbeat
+
+    jobdir = Path(jobdir).expanduser()
+    lines = [f"service status for {jobdir}:"]
+    hb = read_heartbeat(jobdir / "heartbeat.json")
+    if hb is None:
+        lines.append(
+            "  heartbeat: none found (service never ran here, or "
+            "predates durability)"
+        )
+    else:
+        liveness = "alive" if hb["alive"] else "DEAD"
+        if hb.get("status") == "stopped":
+            liveness = "stopped cleanly"
+        lines.append(
+            f"  heartbeat: {hb.get('status', '?')} — pid {hb.get('pid')} "
+            f"{liveness}, last beat {hb['age_s']:.1f}s ago"
+        )
+        lines.append(
+            f"  work: {hb.get('queue_depth', 0)} queued, "
+            f"{hb.get('in_flight', 0)} in flight, "
+            f"{hb.get('completed', 0)} completed, "
+            f"{hb.get('failed', 0)} failed, "
+            f"{hb.get('quarantined', 0)} quarantined"
+        )
+    journal = jobdir / "journal.jsonl"
+    if journal.exists():
+        from .serve import JobJournal
+
+        stats = JobJournal(journal).replay().stats()
+        lines.append(
+            f"  journal: {stats['records']} record(s), "
+            f"{stats['unresolved']} unresolved, "
+            f"{stats['quarantined']} quarantined key(s), "
+            f"{stats['dropped_lines']} torn line(s)"
+        )
+    try:
+        metrics = json.loads((jobdir / "metrics.json").read_text())
+    except (OSError, ValueError):
+        metrics = None
+    if metrics is not None:
+        lines.append("")
+        lines.append(
+            render_service_metrics(
+                metrics, title=f"Last metrics snapshot ({jobdir})"
+            )
+        )
+    return "\n".join(lines)
+
+
 def cmd_serve(args) -> str:
     """Run the experiment service over a file-based job directory."""
+    from pathlib import Path
+
     from .serve import serve_jobdir
 
+    if getattr(args, "status", False):
+        return render_serve_status(args.jobdir)
     if getattr(args, "sim_backend", None):
         # submitted specs carry their own sim_backend; this sets the
         # default for the ones that do not (workers inherit the env)
@@ -663,7 +730,16 @@ def cmd_serve(args) -> str:
         workers=args.workers,
         sim_backend=getattr(args, "sim_backend", None),
     )
-    service = session.serve(max_queue=args.max_queue, autostart=not args.once)
+    jobdir = Path(args.jobdir).expanduser()
+    durable = not getattr(args, "no_journal", False)
+    service = session.serve(
+        max_queue=args.max_queue,
+        autostart=not args.once,
+        journal=(jobdir / "journal.jsonl") if durable else None,
+        heartbeat=(jobdir / "heartbeat.json") if durable else None,
+        deadline_s=getattr(args, "deadline", None),
+        batch_timeout_s=getattr(args, "batch_timeout", None),
+    )
     try:
         stats = serve_jobdir(
             args.jobdir,
@@ -686,11 +762,18 @@ def cmd_submit(args) -> str:
 
     spec = _spec_from_args(args)
     job_id = submit_job(
-        args.jobdir, spec, priority=args.priority, client=args.client
+        args.jobdir,
+        spec,
+        priority=args.priority,
+        client=args.client,
+        deadline_s=getattr(args, "deadline", None),
     )
     if not args.wait:
         return f"submitted {job_id} to {args.jobdir}"
-    result = wait_result(args.jobdir, job_id, timeout=args.timeout)
+    wait_timeout = getattr(args, "wait_timeout", None)
+    if wait_timeout is None:
+        wait_timeout = args.timeout
+    result = wait_result(args.jobdir, job_id, timeout=wait_timeout)
     lines = [
         f"job {job_id}: {result['status']}"
         + (" (cache hit)" if result.get("cache_hit") else "")
@@ -867,6 +950,7 @@ def cmd_bench(args) -> str:
             else [
                 "benchmarks/test_events_per_sec.py",
                 "benchmarks/test_cache_lookup.py",
+                "benchmarks/test_journal_append.py",
             ]
         )
         cmd = [_sys.executable, "-m", "pytest", "--benchmark-only", "-q"]
@@ -1082,6 +1166,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-request progress lines",
     )
+    sv.add_argument(
+        "--status",
+        action="store_true",
+        help="report liveness (heartbeat), journal state and last "
+        "metrics of the job directory, then exit",
+    )
+    sv.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the write-ahead job journal and heartbeat "
+        "(jobs die with the process)",
+    )
+    sv.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="default queue-time budget per job [s]; expired jobs fail "
+        "with DeadlineExceeded (default: none)",
+    )
+    sv.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="watchdog bound on one batch's wall-time [s]; a hung "
+        "batch recycles the pool and isolates its jobs (default: none)",
+    )
     add_backend_arg(sv)
     sb = sub.add_parser(
         "submit",
@@ -1115,6 +1227,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         help="--wait timeout [s] (default 60)",
+    )
+    sb.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="total seconds to wait for the result file "
+        "(overrides --timeout when given)",
+    )
+    sb.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="queue-time budget the service applies to this request "
+        "[s] (default: none)",
     )
     sw = sub.add_parser(
         "sweep",

@@ -134,8 +134,10 @@ class MetricsHub:
 
     def service_metrics(self) -> dict:
         """Live serving-layer metrics (queue depth, in-flight jobs,
-        hit/coalesce/reject counters, wait/run latency histograms)
-        from an attached :class:`~repro.serve.ExperimentService`."""
+        hit/coalesce/reject counters, durability counters — recovered,
+        quarantined, deadline_misses, batch_timeouts, journal_replays,
+        heartbeat_age_s — and wait/run latency histograms) from an
+        attached :class:`~repro.serve.ExperimentService`."""
         if self.service is None:
             return {}
         return self.service.stats()

@@ -60,12 +60,23 @@ class FaultTolerancePolicy:
     restored link lets the retry reroute and succeed.  ``timeout_s``
     (optional) aborts any single transfer attempt that takes longer —
     e.g. one crawling over a degraded link.
+
+    ``jitter`` spreads retrying senders apart: each delay is scaled by
+    a uniform factor from ``[1 - jitter, 1 + jitter]`` drawn from a
+    private RNG seeded with ``jitter_seed`` — deterministic for a
+    given seed, so jittered simulations still replay bit-identically.
+    ``jitter=0`` (default) draws nothing and reproduces the historical
+    fixed schedule exactly.  The delay sequence itself comes from the
+    shared :class:`repro.backoff.ExponentialBackoff` helper — the same
+    implementation the experiment-service clients use.
     """
 
     max_retries: int = 0
     backoff_base_s: float = 1e-3
     backoff_factor: float = 2.0
     timeout_s: Optional[float] = None
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -74,6 +85,19 @@ class FaultTolerancePolicy:
             raise ValueError("invalid backoff parameters")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def backoff(self):
+        """A fresh per-message delay generator under this policy."""
+        from ..backoff import ExponentialBackoff
+
+        return ExponentialBackoff(
+            base_s=self.backoff_base_s,
+            factor=self.backoff_factor,
+            jitter=self.jitter,
+            seed=self.jitter_seed,
+        )
 
 
 class MPIProcess:
@@ -335,7 +359,7 @@ class MPIRuntime:
     ) -> Generator:
         """Retry-with-backoff wrapper mapping fabric faults to typed errors."""
         policy = self.fault_tolerance
-        delay = policy.backoff_base_s
+        backoff = policy.backoff()
         for attempt in range(policy.max_retries + 1):
             try:
                 yield from self._transfer_once(src_id, dst_id, nbytes)
@@ -350,9 +374,9 @@ class MPIRuntime:
             if attempt == policy.max_retries:
                 raise error
             self.transport_retries += 1
+            delay = backoff.next_delay()
             self.backoff_time_s += delay
             yield delay
-            delay *= policy.backoff_factor
 
     # -- launching ---------------------------------------------------------
     def _place(

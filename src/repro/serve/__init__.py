@@ -4,9 +4,15 @@ One long-running :class:`ExperimentService` front door multiplexes
 many concurrent clients onto a shared pool of simulator workers:
 
 * :mod:`repro.serve.queue`   — jobs + bounded fair-share priority queue
-  (typed :class:`QueueFull` backpressure)
+  (typed :class:`QueueFull` backpressure, :class:`DeadlineExceeded`
+  and :class:`PoisonJobError` failures)
 * :mod:`repro.serve.service` — coalescing, cache short-circuit,
-  adaptive batching, crashed-worker requeue, graceful drain
+  adaptive batching, crashed-worker requeue, deadlines, the poison-job
+  quarantine circuit breaker, graceful drain
+* :mod:`repro.serve.journal` — write-ahead job journal
+  (``repro.job_journal/1``) behind crash recovery
+* :mod:`repro.serve.health`  — liveness heartbeat file read by
+  ``repro serve --status``
 * :mod:`repro.serve.metrics` — live service counters and wait/run
   latency histograms
 * :mod:`repro.serve.filejob` — file-based job directory protocol
@@ -23,8 +29,17 @@ from .filejob import (
     submit_job,
     wait_result,
 )
+from .health import HEARTBEAT_SCHEMA, read_heartbeat, write_heartbeat
+from .journal import JOB_JOURNAL_SCHEMA, JobJournal, JournalRecord, JournalState
 from .metrics import LatencyHistogram, ServiceMetrics
-from .queue import Job, JobQueue, JobState, QueueFull
+from .queue import (
+    DeadlineExceeded,
+    Job,
+    JobQueue,
+    JobState,
+    PoisonJobError,
+    QueueFull,
+)
 from .service import ExperimentService
 
 __all__ = [
@@ -33,11 +48,20 @@ __all__ = [
     "JobQueue",
     "JobState",
     "QueueFull",
+    "DeadlineExceeded",
+    "PoisonJobError",
+    "JobJournal",
+    "JournalRecord",
+    "JournalState",
     "LatencyHistogram",
     "ServiceMetrics",
+    "read_heartbeat",
+    "write_heartbeat",
     "serve_jobdir",
     "submit_job",
     "wait_result",
+    "HEARTBEAT_SCHEMA",
+    "JOB_JOURNAL_SCHEMA",
     "JOB_REQUEST_SCHEMA",
     "JOB_RESULT_SCHEMA",
     "SERVICE_METRICS_SCHEMA",

@@ -20,6 +20,16 @@ backpressure never loses a request.
 Duplicate requests (same spec, hence same content-addressed key)
 coalesce inside the service: each request still gets its own result
 file, all fanned out from the one execution.
+
+A served job directory is **durable** by default: the owned service
+journals every transition to ``jobdir/journal.jsonl`` (schema
+``repro.job_journal/1``) and beats ``jobdir/heartbeat.json``.  A
+server killed mid-batch picks up exactly where it died on restart —
+unresolved journal records are resubmitted (request ids travel in the
+journaled ``meta``), already-stored reports resolve as cache hits, and
+a resolved record whose result file never landed is replayed so the
+file appears.  Requests whose writer died mid-write (truncated JSON)
+are skipped while fresh and rejected once stably malformed.
 """
 
 from __future__ import annotations
@@ -53,6 +63,10 @@ JOB_RESULT_SCHEMA = "repro.job_result/1"
 #: schema tag of the metrics.json snapshot
 SERVICE_METRICS_SCHEMA = "repro.service_metrics/1"
 
+#: how long a truncated (mid-write) request file is left alone before
+#: it is treated as stably malformed and rejected
+MALFORMED_GRACE_S = 0.5
+
 
 def _queue_dir(jobdir: Path) -> Path:
     return jobdir / "queue"
@@ -74,27 +88,33 @@ def submit_job(
     priority: int = 0,
     client: str = "cli",
     job_id: Optional[str] = None,
+    deadline_s: Optional[float] = None,
 ) -> str:
     """Drop one request into a job directory; returns the request id.
 
     The request file is written atomically into ``jobdir/queue/`` and
     named by submission time so a scanning server dispatches FIFO by
     default (priority still reorders inside the service queue).
+    ``deadline_s`` is the queue-time budget the server applies once it
+    ingests the request.
     """
     jobdir = Path(jobdir).expanduser()
     _queue_dir(jobdir).mkdir(parents=True, exist_ok=True)
     _results_dir(jobdir).mkdir(parents=True, exist_ok=True)
     if job_id is None:
         job_id = f"{time.time_ns():020d}-{uuid.uuid4().hex[:8]}"  # wall-clock-ok: request id only, never in results
+    payload = {
+        "schema": JOB_REQUEST_SCHEMA,
+        "id": job_id,
+        "spec": spec.to_dict(),
+        "priority": priority,
+        "client": client,
+    }
+    if deadline_s is not None:
+        payload["deadline_s"] = float(deadline_s)
     _atomic_write(
         _queue_dir(jobdir) / f"{job_id}.json",
-        {
-            "schema": JOB_REQUEST_SCHEMA,
-            "id": job_id,
-            "spec": spec.to_dict(),
-            "priority": priority,
-            "client": client,
-        },
+        payload,
     )
     return job_id
 
@@ -121,6 +141,20 @@ def wait_result(
                 f"no result for job {job_id!r} within {timeout}s"
             )
         time.sleep(poll_s)
+
+
+def _looks_truncated(text: str, exc: ValueError) -> bool:
+    """Heuristic: did this JSON decode error happen at end-of-text?
+
+    A writer killed mid-write leaves a prefix of valid JSON, so the
+    decoder either runs off the end or finds an unterminated string; a
+    structurally malformed (but complete) document errors mid-text
+    instead and should be rejected at once.
+    """
+    pos = getattr(exc, "pos", None)
+    if pos is not None and pos >= len(text.rstrip()):
+        return True
+    return "Unterminated string" in getattr(exc, "msg", "")
 
 
 def _result_payload(job: Job, request_id: str, coalesced: bool) -> dict:
@@ -150,6 +184,10 @@ def serve_jobdir(
     max_seconds: Optional[float] = None,
     once: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    durable: bool = True,
+    deadline_s: Optional[float] = None,
+    batch_timeout_s: Optional[float] = None,
+    malformed_grace_s: float = MALFORMED_GRACE_S,
 ) -> dict:
     """Serve a job directory; returns the final metrics snapshot.
 
@@ -160,6 +198,13 @@ def serve_jobdir(
     seconds until ``max_seconds`` elapses (forever when None), then
     drains gracefully.  ``metrics.json`` is refreshed after every scan
     and on exit.
+
+    When the server owns its service (``service=None``) and
+    ``durable=True``, the service journals to ``jobdir/journal.jsonl``
+    and heartbeats ``jobdir/heartbeat.json``; on startup the journal
+    is replayed and every request the previous server accepted but
+    never answered is resubmitted and its result file eventually
+    written — the kill-and-recover contract of ``repro serve``.
     """
     jobdir = Path(jobdir).expanduser()
     _queue_dir(jobdir).mkdir(parents=True, exist_ok=True)
@@ -172,20 +217,98 @@ def serve_jobdir(
             workers=workers,
             max_queue=max_queue,
             autostart=not once,
+            journal=(jobdir / "journal.jsonl") if durable else None,
+            heartbeat=(jobdir / "heartbeat.json") if durable else None,
+            deadline_s=deadline_s,
+            batch_timeout_s=batch_timeout_s,
         )
     say = log or (lambda message: None)
     # request id -> (job, coalesced-onto-earlier-request)
     pending: Dict[str, Tuple[Job, bool]] = {}
     seen_jobs: Dict[int, str] = {}
 
+    def register(request_id: str, job: Job) -> None:
+        coalesced = job.id in seen_jobs
+        seen_jobs.setdefault(job.id, request_id)
+        pending[request_id] = (job, coalesced)
+
+    def recover_requests() -> int:
+        """Re-route journaled request ids from a dead predecessor."""
+        state = service.journal_state
+        if state is None:
+            return 0
+        routed = 0
+        # unresolved records were resubmitted by service recovery:
+        # every request id journaled onto them still awaits a result
+        for rec, job in service.recovered_jobs:
+            for meta in rec.metas:
+                rid = meta.get("request_id") if isinstance(meta, dict) else None
+                if rid and rid not in pending:
+                    register(rid, job)
+                    routed += 1
+        # resolved records whose result file never landed (killed
+        # between the journal write and the flush): resubmit — the
+        # store turns the replay into an instant cache hit
+        for rec in state.in_order():
+            if rec.unresolved or rec.spec is None:
+                continue
+            missing = [
+                meta["request_id"]
+                for meta in rec.metas
+                if isinstance(meta, dict)
+                and meta.get("request_id")
+                and meta["request_id"] not in pending
+                and not (
+                    _results_dir(jobdir) / f"{meta['request_id']}.json"
+                ).exists()
+            ]
+            if not missing:
+                continue
+            spec = ExperimentSpec.from_dict(rec.spec)
+            for rid in missing:
+                try:
+                    job = service.submit(
+                        spec,
+                        priority=rec.priority,
+                        client=rec.client,
+                        meta={"request_id": rid},
+                    )
+                except QueueFull:  # pragma: no cover - empty at startup
+                    say(f"queue full; cannot replay request {rid}")
+                    break
+                register(rid, job)
+                routed += 1
+        if routed:
+            say(f"recovered {routed} pending request(s) from the journal")
+        return routed
+
     def ingest() -> int:
         admitted = 0
         for path in sorted(_queue_dir(jobdir).glob("*.json")):
             try:
-                req = json.loads(path.read_text())
+                text = path.read_text()
+            except OSError as exc:
+                say(f"skipping unreadable request {path.name}: {exc}")
+                continue
+            try:
+                req = json.loads(text)
                 spec = ExperimentSpec.from_dict(req["spec"])
                 request_id = req.get("id", path.stem)
-            except (OSError, ValueError, KeyError, TypeError) as exc:
+            except (ValueError, KeyError, TypeError) as exc:
+                try:
+                    age_s = time.time() - path.stat().st_mtime  # wall-clock-ok: mtime freshness of a host-side file
+                except OSError:
+                    age_s = float("inf")
+                if (
+                    isinstance(exc, ValueError)
+                    and _looks_truncated(text, exc)
+                    and age_s < malformed_grace_s
+                ):
+                    # a writer is (or just was) mid-write: leave the
+                    # file for a later scan instead of rejecting a
+                    # request that is still being spooled
+                    say(f"skipping partial request {path.name} (mid-write)")
+                    continue
                 say(f"rejecting malformed request {path.name}: {exc}")
                 _atomic_write(
                     _results_dir(jobdir) / f"{path.stem}.json",
@@ -206,15 +329,15 @@ def serve_jobdir(
                     spec,
                     priority=int(req.get("priority", 0)),
                     client=str(req.get("client", "cli")),
+                    deadline_s=req.get("deadline_s"),
+                    meta={"request_id": request_id},
                 )
             except QueueFull:
                 # leave the file in place: the directory buffers the
                 # overflow and a later scan retries after the drain
                 say(f"queue full; deferring {path.name}")
                 break
-            coalesced = job.id in seen_jobs
-            seen_jobs.setdefault(job.id, request_id)
-            pending[request_id] = (job, coalesced)
+            register(request_id, job)
             path.unlink(missing_ok=True)
             admitted += 1
         return admitted
@@ -239,6 +362,7 @@ def serve_jobdir(
         return snap
 
     try:
+        recover_requests()
         if once:
             while True:
                 admitted = ingest()

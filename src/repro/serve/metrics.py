@@ -95,7 +95,13 @@ class ServiceMetrics:
     All mutation happens under the service lock; a snapshot is a plain
     dict safe to serialize or diff.  ``submitted`` counts every
     ``submit()`` call and always equals
-    ``accepted + coalesced + cache_hits + rejected``.
+    ``accepted + coalesced + cache_hits + rejected + quarantine_hits``.
+
+    The durability counters stay zero on a fault-free run: ``recovered``
+    and ``journal_replays`` only move when a restart replays journaled
+    work, ``quarantined``/``quarantine_hits`` when a poison spec trips
+    the circuit breaker, ``deadline_misses`` when queued jobs expire,
+    and ``batch_timeouts`` when the watchdog recycles a hung pool.
     """
 
     def __init__(self):
@@ -109,6 +115,13 @@ class ServiceMetrics:
         self.failed = 0
         self.requeued = 0
         self.batches = 0
+        # durability / self-healing counters (0 on a fault-free run)
+        self.recovered = 0
+        self.quarantined = 0
+        self.quarantine_hits = 0
+        self.deadline_misses = 0
+        self.batch_timeouts = 0
+        self.journal_replays = 0
         self.peak_queue_depth = 0
         self.peak_in_flight = 0
         self.wait = LatencyHistogram()
@@ -131,6 +144,12 @@ class ServiceMetrics:
             "failed": self.failed,
             "requeued": self.requeued,
             "batches": self.batches,
+            "recovered": self.recovered,
+            "quarantined": self.quarantined,
+            "quarantine_hits": self.quarantine_hits,
+            "deadline_misses": self.deadline_misses,
+            "batch_timeouts": self.batch_timeouts,
+            "journal_replays": self.journal_replays,
             "wait": self.wait.snapshot(),
             "run": self.run.snapshot(),
         }

@@ -20,7 +20,14 @@ import threading
 from enum import Enum
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["Job", "JobQueue", "JobState", "QueueFull"]
+__all__ = [
+    "DeadlineExceeded",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "PoisonJobError",
+    "QueueFull",
+]
 
 
 class QueueFull(RuntimeError):
@@ -40,6 +47,46 @@ class QueueFull(RuntimeError):
         self.depth = depth
         self.max_depth = max_depth
         self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(RuntimeError):
+    """Typed per-job failure: the job missed its ``deadline_s`` budget.
+
+    The deadline is a *queue-time* promise — "run me within N seconds
+    of submission or don't bother" — checked by the scheduler before
+    dispatch, so an expired job fails fast instead of wasting a worker
+    slot on a result its client has already given up on.
+    """
+
+    def __init__(self, job_id: int, deadline_s: float, waited_s: float):
+        super().__init__(
+            f"job {job_id} missed its {deadline_s:.3f}s deadline "
+            f"(waited {waited_s:.3f}s without being dispatched)"
+        )
+        self.job_id = job_id
+        self.deadline_s = deadline_s
+        self.waited_s = waited_s
+
+
+class PoisonJobError(RuntimeError):
+    """Typed quarantine failure: this spec repeatedly killed the pool.
+
+    Subclasses RuntimeError and keeps the crash reason in its message
+    so pre-quarantine callers that matched ``RuntimeError`` with
+    ``"crash"`` in the text keep working.  Quarantine is journaled, so
+    the same key short-circuits here on every later submission and on
+    recovery — the circuit breaker that stops a poison spec from
+    crash-looping the service.
+    """
+
+    def __init__(self, job_id: int, key: str, reason: str):
+        super().__init__(
+            f"job {job_id} quarantined as a poison job "
+            f"(key {key[:12]}): {reason}"
+        )
+        self.job_id = job_id
+        self.key = key
+        self.reason = reason
 
 
 class JobState(Enum):
@@ -70,6 +117,7 @@ class Job:
         priority: int = 0,
         client: str = "default",
         submitted_s: float = 0.0,
+        deadline_s: Optional[float] = None,
     ):
         self.id = job_id
         self.spec = spec
@@ -78,11 +126,22 @@ class Job:
         self.client = client
         self.state = JobState.QUEUED
         self.submitted_s = submitted_s
+        self.deadline_s = deadline_s
+        #: absolute monotonic expiry (None = no deadline)
+        self.deadline_at: Optional[float] = (
+            submitted_s + deadline_s if deadline_s is not None else None
+        )
         self.started_s: Optional[float] = None
         self.finished_s: Optional[float] = None
         self.retries = 0
         self.waiters = 1
         self.cache_hit = False
+        #: run alone in the next batch (set after a pool crash/timeout
+        #: so a poison candidate cannot take innocent batchmates down)
+        self.isolate = False
+        #: journal sequence numbers this job resolves (primary first;
+        #: recovery may coalesce several journal records onto one job)
+        self.journal_seqs: List[int] = []
         self._event = threading.Event()
         self._report = None
         self._error: Optional[BaseException] = None
@@ -204,7 +263,12 @@ class JobQueue:
             self._pending.append(job)
 
     def pop_batch(self, limit: int) -> List[Job]:
-        """Remove and return up to ``limit`` jobs in dispatch order."""
+        """Remove and return up to ``limit`` jobs in dispatch order.
+
+        A job flagged ``isolate`` (prior pool crash or batch timeout)
+        always runs alone: it is returned as a singleton batch, and a
+        batch under construction stops before it.
+        """
         batch: List[Job] = []
         with self._lock:
             while self._pending and len(batch) < limit:
@@ -213,12 +277,28 @@ class JobQueue:
                     (j for j in self._pending if j.priority == top),
                     key=lambda j: (self._dispatched.get(j.client, 0), j.id),
                 )
+                if job.isolate and batch:
+                    break
                 self._pending.remove(job)
                 self._dispatched[job.client] = (
                     self._dispatched.get(job.client, 0) + 1
                 )
                 batch.append(job)
+                if job.isolate:
+                    break
         return batch
+
+    def pop_expired(self, now: float) -> List[Job]:
+        """Remove and return every pending job past its deadline."""
+        with self._lock:
+            expired = [
+                j
+                for j in self._pending
+                if j.deadline_at is not None and now >= j.deadline_at
+            ]
+            for job in expired:
+                self._pending.remove(job)
+            return expired
 
     def drain_pending(self) -> List[Job]:
         """Remove and return every pending job (shutdown path)."""

@@ -377,14 +377,23 @@ class ResultCache:
         flagged stale when it disagrees with the blob tree: rows for
         missing blobs, blobs it never saw (a writer crashed between
         blob write and index append), dropped/torn lines, or a foreign
-        header.  ``repair=True`` deletes bad blobs and rebuilds the
-        index from the survivors.  Returns ``{"ok": n, "corrupt":
-        [...], "mismatched": [...], "removed": n, "index": {...}}``.
+        header.  Orphaned ``*.tmp`` blob files (a writer killed between
+        temp write and rename) are reported as ``tmp_orphans``.
+        ``repair=True`` deletes bad blobs *and* the tmp orphans, then
+        rebuilds the index from the survivors.  Returns ``{"ok": n,
+        "corrupt": [...], "mismatched": [...], "tmp_orphans": [...],
+        "removed": n, "index": {...}}``.
         """
         ok = 0
         corrupt = []
         mismatched = []
         blob_keys = set()
+        tmp_orphans = [
+            str(p)
+            for shard in sorted(self.root.iterdir())
+            if shard.is_dir() and len(shard.name) == 2
+            for p in sorted(shard.glob("*.tmp"))
+        ]
         for path in self._entry_paths():
             blob_keys.add(path.stem)
             try:
@@ -413,7 +422,7 @@ class ResultCache:
         }
         removed = 0
         if repair:
-            for name in corrupt + mismatched:
+            for name in corrupt + mismatched + tmp_orphans:
                 Path(name).unlink(missing_ok=True)
                 removed += 1
             self._lru.clear()
@@ -423,6 +432,7 @@ class ResultCache:
             "ok": ok,
             "corrupt": corrupt,
             "mismatched": mismatched,
+            "tmp_orphans": tmp_orphans,
             "removed": removed,
             "index": index_report,
         }

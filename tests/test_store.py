@@ -310,6 +310,24 @@ def test_unindexed_blob_detected_and_recovered(store):
     assert store.get(other) is not None
 
 
+def test_tmp_orphan_blobs_reported_and_repaired(store):
+    spec = spec_of(2)
+    key = store.put(spec, tiny_report(spec))
+    # a writer SIGKILLed between the temp write and the atomic rename
+    # leaves an orphaned *.tmp file in the shard next to real entries
+    orphan = store.path_for(key).parent / f"{key}.{os.getpid()}.7.tmp"
+    orphan.write_text('{"partial":')
+    audit = store.verify()
+    assert audit["tmp_orphans"] == [str(orphan)]
+    assert audit["removed"] == 0 and orphan.exists()  # audit-only
+    assert not audit["corrupt"]  # never mistaken for a corrupt entry
+    audit = store.verify(repair=True)
+    assert audit["removed"] == 1
+    assert not orphan.exists()
+    assert store.get(spec) is not None  # the real entry is untouched
+    assert store.verify()["tmp_orphans"] == []
+
+
 def test_foreign_schema_index_is_rebuilt(store):
     spec = spec_of(2)
     store.put(spec, tiny_report(spec))
