@@ -21,6 +21,8 @@ the full stack the paper describes:
   (:mod:`repro.cache` is the compatibility import path)
 * :mod:`repro.autotune`   — model-guided partition autotuner
 * :mod:`repro.serve`      — async experiment service (queue/coalesce/batch)
+* :mod:`repro.fleet`      — sharded service fleet (cache-key routing,
+  work stealing, fleet-wide metrics)
 * :mod:`repro.api`        — the :class:`~repro.api.Session` facade
 * :mod:`repro.report`     — unified schema-tagged report protocol
 * :mod:`repro.bench`      — benchmark harnesses per table/figure
@@ -32,7 +34,7 @@ the full stack the paper describes:
     report = Session().run(mode="cb", steps=100)
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from .api import Session
 from .engine import Engine, ExperimentSpec, RunReport, SweepReport

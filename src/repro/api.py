@@ -45,6 +45,12 @@ class Session:
     defaults to — an execution knob, never a result-changing one
     (backends are bit-identical).  A ready spec passed in keeps its own
     ``sim_backend``.
+
+    ``fleet`` points :meth:`submit` at a sharded service fleet instead
+    of a session-owned local service: an in-process
+    :class:`~repro.fleet.FleetRouter`, a connected
+    :class:`~repro.fleet.FleetClient`, or a ``"host:port"`` address (a
+    client is built — and owned — on first use).
     """
 
     def __init__(
@@ -53,6 +59,7 @@ class Session:
         workers: int = 1,
         engine: Optional[Engine] = None,
         sim_backend: Optional[str] = None,
+        fleet=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1 (got {workers})")
@@ -64,7 +71,9 @@ class Session:
         self.cache = _coerce_cache(cache)
         self.workers = workers
         self.sim_backend = sim_backend
+        self.fleet = fleet
         self._service = None  # lazily-owned service behind submit()
+        self._owned_fleet_client = None  # built from a "host:port" fleet=
 
     # -- verbs ---------------------------------------------------------------
     def run(self, spec: Optional[ExperimentSpec] = None, /, **fields) -> RunReport:
@@ -130,7 +139,10 @@ class Session:
         """Submit one experiment to this session's service; returns the
         :class:`~repro.serve.queue.Job` handle.
 
-        Accepts a ready spec or spec fields (like :meth:`run`).  The
+        Accepts a ready spec or spec fields (like :meth:`run`).  With
+        ``fleet=`` set, the spec goes to the fleet instead — a router
+        returns its :class:`~repro.fleet.FleetJob`, a client/address a
+        resolved :class:`~repro.fleet.RemoteJob` — otherwise the
         session lazily owns one service (created on first use with the
         session's engine/cache/workers; :meth:`close` shuts it down).
         Backpressure is absorbed client-side: a full queue is retried
@@ -141,6 +153,10 @@ class Session:
         :class:`~repro.serve.queue.QueueFull` escapes to the caller.
         """
         spec = self._spec(spec, fields)
+        if self.fleet is not None:
+            return self._fleet_target().submit(
+                spec, priority=priority, client=client, deadline_s=deadline_s
+            )
         if self._service is None or not self._service.started:
             self._service = self.serve()
         return self._service.submit_with_retry(
@@ -151,11 +167,30 @@ class Session:
             wait_timeout_s=wait_timeout,
         )
 
+    def _fleet_target(self):
+        """The object :meth:`submit` dispatches to when ``fleet`` is set.
+
+        Routers and clients are used as passed (caller-owned); a
+        ``"host:port"`` string becomes one session-owned
+        :class:`~repro.fleet.FleetClient`, closed by :meth:`close`.
+        """
+        if hasattr(self.fleet, "submit"):
+            return self.fleet
+        if self._owned_fleet_client is None:
+            from .fleet import FleetClient
+
+            self._owned_fleet_client = FleetClient(self.fleet)
+        return self._owned_fleet_client
+
     def close(self) -> None:
-        """Drain and shut down the session-owned service (if any)."""
+        """Drain and shut down the session-owned service (if any) and
+        close the session-owned fleet client (if any)."""
         if self._service is not None:
             self._service.shutdown(drain=True)
             self._service = None
+        if self._owned_fleet_client is not None:
+            self._owned_fleet_client.close()
+            self._owned_fleet_client = None
 
     def __enter__(self) -> "Session":
         """Context-manager entry: the session itself."""
@@ -223,16 +258,23 @@ class Session:
         """
         return self._store().query(where=where, fields=fields, limit=limit)
 
-    def aggregate(self, field: str, where=None) -> dict:
+    def aggregate(
+        self, field: str, where=None, group_by: Optional[str] = None
+    ) -> dict:
         """count/sum/mean/min/max/p50/p90/p99 of one column over the
         filtered stored runs (index-only for index columns)::
 
             s.aggregate("total_runtime", where=["mode=C+B",
                         "nodes_per_solver=8"])["p99"]
 
+        ``group_by`` splits the matched rows by another column and adds
+        ``groups`` — one stats dict per distinct value, ordered::
+
+            s.aggregate("total_runtime", group_by="mode")["groups"]
+
         Requires a cache; raises ``ValueError`` without one.
         """
-        return self._store().aggregate(field, where=where)
+        return self._store().aggregate(field, where=where, group_by=group_by)
 
     def _store(self):
         if self.cache is None:

@@ -654,8 +654,16 @@ def render_service_metrics(stats: dict, title: str = "Experiment service") -> st
     return render_table(["Metric", "Value"], rows, title=title)
 
 
-def render_serve_status(jobdir) -> str:
-    """One-shot liveness/metrics report of a served job directory."""
+def render_serve_status(jobdir, stale_after_s: float = 30.0):
+    """One-shot liveness/metrics report of a served job directory.
+
+    Returns ``(text, exit_code)``: code 1 when the directory claims a
+    serving process that is stale — its pid is gone, or its last beat
+    is older than ``stale_after_s`` — so scripts and monitors can
+    alert on ``repro serve --status`` without parsing the text.  A
+    directory that never served, or whose service stopped cleanly, is
+    not stale (code 0).
+    """
     import json
     from pathlib import Path
 
@@ -663,6 +671,7 @@ def render_serve_status(jobdir) -> str:
 
     jobdir = Path(jobdir).expanduser()
     lines = [f"service status for {jobdir}:"]
+    stale = False
     hb = read_heartbeat(jobdir / "heartbeat.json")
     if hb is None:
         lines.append(
@@ -673,6 +682,10 @@ def render_serve_status(jobdir) -> str:
         liveness = "alive" if hb["alive"] else "DEAD"
         if hb.get("status") == "stopped":
             liveness = "stopped cleanly"
+        else:
+            stale = (not hb["alive"]) or hb["age_s"] > stale_after_s
+        if stale:
+            liveness += f" (STALE: threshold {stale_after_s:g}s)"
         lines.append(
             f"  heartbeat: {hb.get('status', '?')} — pid {hb.get('pid')} "
             f"{liveness}, last beat {hb['age_s']:.1f}s ago"
@@ -706,7 +719,7 @@ def render_serve_status(jobdir) -> str:
                 metrics, title=f"Last metrics snapshot ({jobdir})"
             )
         )
-    return "\n".join(lines)
+    return "\n".join(lines), (1 if stale else 0)
 
 
 def cmd_serve(args) -> str:
@@ -716,7 +729,10 @@ def cmd_serve(args) -> str:
     from .serve import serve_jobdir
 
     if getattr(args, "status", False):
-        return render_serve_status(args.jobdir)
+        return render_serve_status(
+            args.jobdir,
+            stale_after_s=getattr(args, "stale_after_s", None) or 30.0,
+        )
     if getattr(args, "sim_backend", None):
         # submitted specs carry their own sim_backend; this sets the
         # default for the ones that do not (workers inherit the env)
@@ -789,6 +805,185 @@ def cmd_submit(args) -> str:
     else:
         lines.append(f"error: {result.get('error')}")
     return "\n".join(lines)
+
+
+def render_fleet_status(metrics: dict):
+    """Render one aggregated fleet metrics document.
+
+    Returns ``(text, exit_code)``: code 1 when the fleet-wide ledger
+    invariant (``submitted == accepted + coalesced + cache_hits +
+    rejected + quarantine_hits``) does not hold in the merged
+    snapshot, so scripts can alert on ``repro fleet status``.
+    """
+    from .fleet import invariant_holds
+
+    fleet = metrics.get("fleet", {})
+    router = metrics.get("router", {})
+    lines = [
+        render_service_metrics(
+            fleet,
+            title=f"Fleet ({fleet.get('shards', 0)} live shard(s))",
+        )
+    ]
+    shares = router.get("ring_shares", {})
+    for name, snap in sorted((metrics.get("shards") or {}).items()):
+        share = shares.get(name)
+        title = f"Shard {name}" + (
+            f" — ring share {share:.1%}" if share is not None else ""
+        )
+        lines.append("")
+        lines.append(render_service_metrics(snap, title=title))
+    rows = [
+        ("routed (sticky / stolen)",
+         f"{router.get('routed', 0)} ({router.get('sticky_routed', 0)} / "
+         f"{router.get('stolen', 0)})"),
+        ("stolen results synced home", str(router.get("synced", 0))),
+        ("rejected (shard queue full)",
+         str(router.get("rejected_full", 0))),
+        ("shard deaths / restarts",
+         f"{router.get('shard_deaths', 0)} / {router.get('restarts', 0)}"),
+        ("ring rebalances", str(router.get("rebalanced", 0))),
+        ("rerouted jobs", str(router.get("rerouted_jobs", 0))),
+        ("outstanding / in-flight keys",
+         f"{router.get('outstanding', 0)} / "
+         f"{router.get('inflight_keys', 0)}"),
+        ("shards live / total",
+         f"{router.get('shards_live', 0)} / "
+         f"{router.get('shards_total', 0)}"),
+    ]
+    lost = router.get("shards_lost") or []
+    if lost:
+        rows.append(("shards lost (ring rebalanced)", ", ".join(lost)))
+    lines.append("")
+    lines.append(render_table(["Metric", "Value"], rows, title="Router"))
+    lines.append("")
+    if invariant_holds(fleet):
+        lines.append(
+            "fleet ledger: submitted == accepted + coalesced + cache hits "
+            "+ rejected + quarantine hits (holds)"
+        )
+        return "\n".join(lines), 0
+    lines.append(
+        "fleet ledger VIOLATION: submitted != accepted + coalesced + "
+        "cache hits + rejected + quarantine hits"
+    )
+    return "\n".join(lines), 1
+
+
+def _cmd_fleet_serve(args):
+    """Boot N shards + router + TCP front end; serve until stopped."""
+    import time
+    from pathlib import Path
+
+    from .fleet import FleetFrontEnd, FleetRouter, LocalShard, ProcessShard
+
+    root = Path(args.root).expanduser()
+    shards = []
+    for i in range(args.shards):
+        name = f"shard-{i:02d}"
+        cls = ProcessShard if args.process else LocalShard
+        shards.append(
+            cls(
+                name,
+                root / name,
+                workers=args.workers,
+                max_queue=args.max_queue,
+            )
+        )
+    router = FleetRouter(shards, stale_after_s=args.stale_after_s)
+    router.start()
+    front = FleetFrontEnd(router, host=args.host, port=args.port).start()
+    if not args.quiet:
+        kind = "process" if args.process else "in-process"
+        print(
+            f"fleet: {args.shards} {kind} shard(s) under {root}",
+            flush=True,
+        )
+        print(f"fleet: serving on {front.address}", flush=True)
+    try:
+        deadline = (
+            None
+            if args.max_seconds is None
+            else time.monotonic() + args.max_seconds  # wall-clock-ok: CLI serving bound
+        )
+        while deadline is None or time.monotonic() < deadline:  # wall-clock-ok: CLI serving bound
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        front.stop()
+        router.drain(timeout=30.0)
+        snapshot = router.metrics_snapshot()
+        router.shutdown(drain=False)
+    return render_fleet_status(snapshot)
+
+
+def _cmd_fleet_submit(args):
+    """Submit one spec to a running fleet front end and render it."""
+    from .fleet import FleetClient, FleetClientError
+
+    spec = _spec_from_args(args)
+    try:
+        with FleetClient(args.address, timeout_s=args.timeout) as client:
+            job = client.submit(
+                spec,
+                priority=args.priority,
+                client=args.client,
+                deadline_s=getattr(args, "deadline", None),
+            )
+    except FleetClientError as exc:
+        raise ValueError(f"fleet submit failed: {exc}") from exc
+    except OSError as exc:
+        raise ValueError(
+            f"cannot reach fleet at {args.address}: {exc}"
+        ) from exc
+    flags = (
+        (" (cache hit)" if job.cache_hit else "")
+        + (" (coalesced)" if job.coalesced else "")
+        + (" (stolen)" if job.stolen else "")
+    )
+    lines = [
+        f"fleet job {job.id} on shard {job.shard}: "
+        f"{job.payload.get('status')}{flags}"
+    ]
+    error = job.exception()
+    if error is not None:
+        lines.append(f"error: {error}")
+        return "\n".join(lines), 1
+    report = job.result()
+    if args.json:
+        report.save(args.json)
+        lines.append(f"report JSON written to {args.json}")
+    lines.append("")
+    lines.append(render_run_report(report))
+    return "\n".join(lines)
+
+
+def _cmd_fleet_status(args):
+    """Fetch + render the aggregated metrics of a running fleet."""
+    from .fleet import FleetClient, FleetClientError
+
+    try:
+        with FleetClient(
+            args.address, timeout_s=args.timeout, max_attempts=1
+        ) as client:
+            metrics = client.status()
+    except FleetClientError as exc:
+        raise ValueError(f"fleet status failed: {exc}") from exc
+    except OSError as exc:
+        raise ValueError(
+            f"cannot reach fleet at {args.address}: {exc}"
+        ) from exc
+    return render_fleet_status(metrics)
+
+
+def cmd_fleet(args):
+    """Fleet verbs: serve N shards behind a router, submit, status."""
+    if args.verb == "serve":
+        return _cmd_fleet_serve(args)
+    if args.verb == "submit":
+        return _cmd_fleet_submit(args)
+    return _cmd_fleet_status(args)
 
 
 def cmd_cache(args) -> str:
@@ -890,9 +1085,40 @@ def cmd_query(args) -> str:
             title=f"Stored runs: {where_label} ({len(rows)} matched)",
         )
     ]
+    group_by = getattr(args, "group_by", None)
+    if group_by and not args.agg:
+        raise ValueError("--group-by needs --agg FIELD to aggregate")
     if args.agg:
-        agg = cache.aggregate(args.agg, where=args.where or None)
-        if agg["count"]:
+        agg = cache.aggregate(
+            args.agg, where=args.where or None, group_by=group_by
+        )
+        if group_by:
+            out.append("")
+            if agg.get("groups"):
+                out.append(
+                    render_table(
+                        [group_by, "count", "mean", "min", "max",
+                         "p50", "p90", "p99"],
+                        [
+                            (
+                                "-" if g["group"] is None else str(g["group"]),
+                                str(g["count"]),
+                            )
+                            + tuple(
+                                f"{g[k]:.4f}" if g["count"] else "-"
+                                for k in ("mean", "min", "max",
+                                          "p50", "p90", "p99")
+                            )
+                            for g in agg["groups"]
+                        ],
+                        title=f"Aggregate: {args.agg} per {group_by}",
+                    )
+                )
+            else:
+                out.append(
+                    f"no rows to group by {group_by!r} for {args.agg!r}"
+                )
+        elif agg["count"]:
             out.append("")
             out.append(
                 render_table(
@@ -918,7 +1144,7 @@ def cmd_query(args) -> str:
         doc = {"rows": rows}
         if args.agg:
             doc["aggregate"] = cache.aggregate(
-                args.agg, where=args.where or None
+                args.agg, where=args.where or None, group_by=group_by
             )
         pathlib.Path(args.json).write_text(_json.dumps(doc, indent=2))
         out.append(f"\nquery result JSON written to {args.json}")
@@ -951,6 +1177,7 @@ def cmd_bench(args) -> str:
                 "benchmarks/test_events_per_sec.py",
                 "benchmarks/test_cache_lookup.py",
                 "benchmarks/test_journal_append.py",
+                "benchmarks/test_fleet_router.py",
             ]
         )
         cmd = [_sys.executable, "-m", "pytest", "--benchmark-only", "-q"]
@@ -1173,6 +1400,14 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics of the job directory, then exit",
     )
     sv.add_argument(
+        "--stale-after-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="--status: declare a serving heartbeat stale past this "
+        "age [s] and exit non-zero (default 30)",
+    )
+    sv.add_argument(
         "--no-journal",
         action="store_true",
         help="disable the write-ahead job journal and heartbeat "
@@ -1384,6 +1619,128 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.30,
         help="allowed fraction below each baseline floor (default 0.30)",
     )
+    fl = sub.add_parser(
+        "fleet",
+        help="run / talk to a sharded service fleet (consistent-hash "
+        "cache-key routing, work stealing, fleet-wide metrics)",
+    )
+    flsub = fl.add_subparsers(dest="verb", required=True)
+    fls = flsub.add_parser(
+        "serve",
+        help="N experiment-service shards behind a TCP front-end router",
+    )
+    fls.add_argument(
+        "--root",
+        metavar="DIR",
+        required=True,
+        help="fleet root; shard i lives under ROOT/shard-0i",
+    )
+    fls.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count (default 4)",
+    )
+    fls.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address of the front end (default 127.0.0.1)",
+    )
+    fls.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = ephemeral; printed on start)",
+    )
+    fls.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers per shard (default 1)",
+    )
+    fls.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admission bound per shard (default 64)",
+    )
+    fls.add_argument(
+        "--process",
+        action="store_true",
+        help="run each shard as its own `repro serve` process "
+        "(journal + heartbeat durability; restart-on-death recovery)",
+    )
+    fls.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop serving after this long (default: run until killed)",
+    )
+    fls.add_argument(
+        "--stale-after-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="heartbeat age past which the router declares a shard "
+        "dead (default 5)",
+    )
+    fls.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the startup address lines",
+    )
+    flb = flsub.add_parser(
+        "submit",
+        help="submit one experiment to a running fleet front end",
+    )
+    add_spec_args(flb)
+    flb.add_argument(
+        "--address",
+        metavar="HOST:PORT",
+        required=True,
+        help="the fleet front end to submit to",
+    )
+    flb.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="scheduling priority (higher dispatches first, default 0)",
+    )
+    flb.add_argument(
+        "--client",
+        default="cli",
+        help="client id for fair-share scheduling (default cli)",
+    )
+    flb.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="queue-time budget the shard applies to this request [s]",
+    )
+    flb.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="socket timeout [s] (default 60)",
+    )
+    flt = flsub.add_parser(
+        "status",
+        help="aggregated fleet metrics + ledger-invariant check "
+        "(non-zero exit on violation)",
+    )
+    flt.add_argument(
+        "--address",
+        metavar="HOST:PORT",
+        required=True,
+        help="the fleet front end to query",
+    )
+    flt.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="socket timeout [s] (default 10)",
+    )
     ca = sub.add_parser(
         "cache", help="manage a tiered content-addressed result store"
     )
@@ -1477,6 +1834,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="aggregate this column over the matches "
         "(count/mean/min/max/p50/p90/p99)",
+    )
+    qr.add_argument(
+        "--group-by",
+        metavar="COLUMN",
+        default=None,
+        help="with --agg: split the aggregate per distinct value of "
+        "this column (one stats row per value, from the index alone)",
     )
     qr.add_argument(
         "--limit",
@@ -1584,6 +1948,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": cmd_tune,
         "serve": cmd_serve,
         "submit": cmd_submit,
+        "fleet": cmd_fleet,
         "bench": cmd_bench,
         "cache": cmd_cache,
         "query": cmd_query,
@@ -1597,7 +1962,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "all": cmd_all,
     }[args.command]
     try:
-        print(handler(args))
+        out = handler(args)
+        # handlers return text, or (text, exit_code) for status-style
+        # verbs whose outcome scripts branch on
+        code = 0
+        if isinstance(out, tuple):
+            out, code = out
+        print(out)
     except (ValueError, FileNotFoundError, TimeoutError) as exc:
         # bad spec values, missing report files, or a submit --wait
         # that outlived its timeout: a message, not a trace
@@ -1609,7 +1980,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,210 @@
+"""Synchronous fleet client: sockets + decorrelated-jitter backoff.
+
+The remote mirror of ``ExperimentService.submit_with_retry``: a
+:class:`FleetClient` submits specs to a running fleet front end over
+the length-prefixed JSON protocol, absorbing the two transient
+failure modes a remote caller sees — connection errors (router
+restarting, not yet bound) and ``queue_full`` rejections (every shard
+at its admission bound) — with the same
+:class:`~repro.backoff.ExponentialBackoff` policy the local client
+path uses, honoring the service's ``retry_after_s`` hint as the
+floor.  Everything else (bad spec, job failure) raises the typed
+:class:`FleetClientError` immediately.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional
+
+from ..backoff import ExponentialBackoff
+from ..engine import RunReport
+from .protocol import FLEET_MSG_SCHEMA, recv_frame, send_frame
+
+__all__ = ["FleetClientError", "RemoteJob", "FleetClient"]
+
+
+class FleetClientError(RuntimeError):
+    """Typed client-side failure; carries the reply payload if any."""
+
+    def __init__(self, message: str, payload: Optional[dict] = None):
+        super().__init__(message)
+        self.payload = payload or {}
+
+
+class RemoteJob:
+    """A resolved remote submission, shaped like a local job handle.
+
+    The wire protocol resolves before replying, so a RemoteJob is
+    always done: ``result()`` returns the report (or raises the
+    failure) without blocking — uniform with
+    :class:`~repro.fleet.router.FleetJob` for callers that treat
+    either.
+    """
+
+    def __init__(self, payload: dict):
+        self.payload = payload
+        self.id = payload.get("id")
+        self.key = payload.get("key", "")
+        self.shard = payload.get("shard")
+        self.cache_hit = bool(payload.get("cache_hit"))
+        self.coalesced = bool(payload.get("coalesced"))
+        self.stolen = bool(payload.get("stolen"))
+
+    def done(self) -> bool:
+        """Always True: a RemoteJob is born resolved."""
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> RunReport:
+        """The run report, or raises the job's failure."""
+        error = self.exception()
+        if error is not None:
+            raise error
+        return RunReport.from_dict(self.payload["report"])
+
+    def exception(self, timeout: Optional[float] = None):
+        """The job's failure as a FleetClientError, or None."""
+        if self.payload.get("status") == "done":
+            return None
+        return FleetClientError(
+            self.payload.get("error") or "job failed", self.payload
+        )
+
+
+def _parse_address(address) -> tuple:
+    if isinstance(address, (tuple, list)) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"fleet address {address!r} is not HOST:PORT"
+        )
+    return host, int(port)
+
+
+class FleetClient:
+    """One connection to a fleet front end (reconnects on error)."""
+
+    def __init__(
+        self,
+        address,
+        timeout_s: float = 60.0,
+        max_attempts: int = 8,
+        backoff: Optional[ExponentialBackoff] = None,
+    ):
+        self.host, self.port = _parse_address(address)
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self._backoff = backoff or ExponentialBackoff(
+            base_s=0.05, cap_s=2.0, decorrelated=True, seed=0
+        )
+        self._sock: Optional[socket.socket] = None
+
+    # -- wire plumbing -------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+            sock.settimeout(self.timeout_s)
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        """Drop the connection (reopened lazily on the next call)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _roundtrip(self, msg: dict) -> dict:
+        sock = self._connect()
+        try:
+            send_frame(sock, msg)
+            reply = recv_frame(sock)
+        except (OSError, ValueError):
+            self.close()
+            raise
+        if reply is None:
+            self.close()
+            raise ConnectionError("fleet front end closed the connection")
+        return reply
+
+    # -- operations ----------------------------------------------------------
+    def ping(self) -> bool:
+        """True when the front end answers."""
+        try:
+            return bool(self._roundtrip({"op": "ping"}).get("ok"))
+        except (OSError, ValueError):
+            return False
+
+    def status(self) -> dict:
+        """The fleet's aggregated metrics document."""
+        reply = self._roundtrip({"op": "status"})
+        if not reply.get("ok"):
+            raise FleetClientError(
+                reply.get("error") or "status failed", reply
+            )
+        return reply["metrics"]
+
+    def submit(
+        self,
+        spec,
+        priority: int = 0,
+        client: str = "fleet-client",
+        deadline_s: Optional[float] = None,
+        timeout_s: Optional[float] = None,
+    ) -> RemoteJob:
+        """Submit one spec and wait for its resolution.
+
+        Retries connection failures and ``queue_full`` rejections with
+        decorrelated-jitter backoff (honoring the router's
+        ``retry_after_s`` hint) for up to ``max_attempts`` tries, then
+        raises :class:`FleetClientError` (or the last socket error).
+        """
+        msg = {
+            "schema": FLEET_MSG_SCHEMA,
+            "op": "submit",
+            "spec": spec.to_dict(),
+            "priority": priority,
+            "client": client,
+            "wait": True,
+        }
+        if deadline_s is not None:
+            msg["deadline_s"] = deadline_s
+        if timeout_s is not None:
+            msg["timeout_s"] = timeout_s
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                reply = self._roundtrip(msg)
+            except (OSError, ValueError) as exc:
+                last_error = exc
+                if attempt >= self.max_attempts:
+                    raise
+                time.sleep(self._backoff.next_delay())
+                continue
+            if reply.get("ok"):
+                return RemoteJob(reply)
+            if reply.get("error") == "queue_full":
+                last_error = FleetClientError("queue_full", reply)
+                if attempt >= self.max_attempts:
+                    break
+                floor = float(reply.get("retry_after_s") or 0.0)
+                time.sleep(self._backoff.next_delay(floor_s=floor))
+                continue
+            raise FleetClientError(
+                reply.get("error") or "submit failed", reply
+            )
+        raise last_error if last_error is not None else FleetClientError(
+            "submit failed"
+        )

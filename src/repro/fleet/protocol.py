@@ -1,0 +1,150 @@
+"""Length-prefixed JSON framing for the fleet router socket protocol.
+
+The fleet front end speaks the simplest self-delimiting wire format
+that survives partial reads: each message is a 4-byte big-endian
+length followed by that many bytes of compact JSON.  The same framing
+functions serve both sides — blocking sockets for the synchronous
+:class:`~repro.fleet.client.FleetClient`, asyncio streams for the
+router's front end — so a frame written by either is readable by the
+other by construction.
+
+This wire protocol *coexists* with the filejob directory protocol
+(:mod:`repro.serve.filejob`): the router speaks sockets to clients on
+the front and, for subprocess shards, the directory protocol on the
+back.  Messages are dicts with an ``op`` field; replies carry ``ok``
+plus either the result payload or a typed ``error``.  A document
+larger than :data:`MAX_FRAME_BYTES` (or a torn frame) raises the
+typed :class:`FrameError` instead of desynchronizing the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Optional
+
+__all__ = [
+    "FLEET_MSG_SCHEMA",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_frame",
+    "decode_payload",
+    "send_frame",
+    "recv_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: schema tag carried by every fleet protocol message
+FLEET_MSG_SCHEMA = "repro.fleet_msg/1"
+
+#: hard bound on one frame's JSON payload (a full RunReport is ~10 KiB;
+#: 16 MiB leaves room for traced reports without letting a corrupt
+#: length prefix allocate unbounded memory)
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """Typed framing failure: torn frame, oversize length, bad JSON."""
+
+
+def encode_frame(doc: dict) -> bytes:
+    """One message as wire bytes: 4-byte length + compact JSON."""
+    raw = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    if len(raw) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame payload of {len(raw)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+    return _HEADER.pack(len(raw)) + raw
+
+
+def decode_payload(raw: bytes) -> dict:
+    """Parse one frame's payload bytes into the message dict."""
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"frame payload is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return doc
+
+
+def _check_length(length: int) -> int:
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte bound"
+        )
+    return length
+
+
+# -- blocking socket side ----------------------------------------------------
+def _recv_exact(sock, n: int, mid_frame: bool) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary.
+
+    EOF *inside* a frame (``mid_frame`` or after a partial read) is a
+    torn frame and raises :class:`FrameError`.
+    """
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if not mid_frame and got == 0:
+                return None
+            raise FrameError(
+                f"connection closed mid-frame ({got}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock, doc: dict) -> None:
+    """Write one message to a blocking socket."""
+    sock.sendall(encode_frame(doc))
+
+
+def recv_frame(sock) -> Optional[dict]:
+    """Read one message from a blocking socket; None on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size, mid_frame=False)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    return decode_payload(
+        _recv_exact(sock, _check_length(length), mid_frame=True)
+    )
+
+
+# -- asyncio side ------------------------------------------------------------
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one message from an asyncio stream; None on clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError(
+            f"connection closed mid-header ({len(exc.partial)}/"
+            f"{_HEADER.size} bytes read)"
+        ) from None
+    (length,) = _HEADER.unpack(header)
+    try:
+        raw = await reader.readexactly(_check_length(length))
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} "
+            "bytes read)"
+        ) from None
+    return decode_payload(raw)
+
+
+async def write_frame(writer: asyncio.StreamWriter, doc: dict) -> None:
+    """Write one message to an asyncio stream and drain."""
+    writer.write(encode_frame(doc))
+    await writer.drain()

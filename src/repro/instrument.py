@@ -26,7 +26,7 @@ class MetricsHub:
 
     def __init__(
         self, sim=None, fabric=None, runtime=None, tracer=None, cache=None,
-        service=None,
+        service=None, fleet=None,
     ):
         self.sim = sim
         self.fabric = fabric
@@ -34,10 +34,11 @@ class MetricsHub:
         self.tracer = tracer
         self.cache = cache
         self.service = service
+        self.fleet = fleet
 
     def attach(
         self, sim=None, fabric=None, runtime=None, tracer=None, cache=None,
-        service=None,
+        service=None, fleet=None,
     ) -> "MetricsHub":
         """Attach (or replace) observed layers; returns self."""
         if sim is not None:
@@ -52,6 +53,8 @@ class MetricsHub:
             self.cache = cache
         if service is not None:
             self.service = service
+        if fleet is not None:
+            self.fleet = fleet
         return self
 
     # -- per-layer snapshots ----------------------------------------------
@@ -142,6 +145,14 @@ class MetricsHub:
             return {}
         return self.service.stats()
 
+    def fleet_metrics(self) -> dict:
+        """The aggregated fleet document (per-shard snapshots, the
+        bucket-wise merged fleet ledger, router counters) from an
+        attached :class:`~repro.fleet.FleetRouter`."""
+        if self.fleet is None:
+            return {}
+        return self.fleet.metrics_snapshot()
+
     def snapshot(self) -> dict:
         """One nested dict with every layer's metrics."""
         return {
@@ -151,4 +162,5 @@ class MetricsHub:
             "phases": self.phase_metrics(),
             "cache": self.cache_metrics(),
             "service": self.service_metrics(),
+            "fleet": self.fleet_metrics(),
         }

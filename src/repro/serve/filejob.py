@@ -361,10 +361,19 @@ def serve_jobdir(
         )
         return snap
 
+    def refresh_store() -> None:
+        # fold in store entries other processes appended (a fleet
+        # router bundle-syncing a stolen result, an operator's `repro
+        # cache import`) so the next admission sees them as cache
+        # hits; one stat() per scan when nothing changed
+        if service.cache is not None:
+            service.cache.refresh()
+
     try:
         recover_requests()
         if once:
             while True:
+                refresh_store()
                 admitted = ingest()
                 service.start()
                 service.drain()
@@ -374,6 +383,7 @@ def serve_jobdir(
             return write_metrics()
         start = time.monotonic()  # wall-clock-ok: host-side serving loop only
         while True:
+            refresh_store()
             ingest()
             flush()
             write_metrics()

@@ -76,8 +76,71 @@ class LatencyHistogram:
                 return min(bound, self.max_s if self.max_s is not None else bound)
         return self.max_s or 0.0  # pragma: no cover - defensive
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold another histogram's samples into this one, bucket-wise.
+
+        Both histograms must share bucket geometry (same ``lo``, same
+        bucket count) — true for every histogram the service family
+        creates.  Merged percentiles are exact at bucket resolution:
+        the same answer as recording both sample streams into one
+        histogram, which is what fleet-level aggregation needs.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket geometry"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total_s += other.total_s
+        if other.min_s is not None:
+            self.min_s = (
+                other.min_s
+                if self.min_s is None
+                else min(self.min_s, other.min_s)
+            )
+        if other.max_s is not None:
+            self.max_s = (
+                other.max_s
+                if self.max_s is None
+                else max(self.max_s, other.max_s)
+            )
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from a :meth:`snapshot` dict.
+
+        A snapshot carrying raw ``counts`` round-trips exactly; a
+        digest-only snapshot (older writer) degrades gracefully — all
+        mass lands in the overflow bucket, so count/mean/min/max stay
+        exact and percentiles clamp to the observed maximum.
+        """
+        snap = snap or {}
+        hist = cls(
+            lo=float(snap.get("bucket_lo", 1e-6)),
+            buckets=int(snap.get("buckets", 40)),
+        )
+        count = int(snap.get("count", 0))
+        if count == 0:
+            return hist
+        counts = snap.get("counts")
+        if isinstance(counts, list) and len(counts) == len(hist.counts):
+            hist.counts = [int(c) for c in counts]
+        else:
+            hist.counts[-1] = count
+        hist.count = count
+        hist.total_s = float(
+            snap.get("total_s", snap.get("mean_s", 0.0) * count)
+        )
+        hist.min_s = float(snap.get("min_s", 0.0))
+        hist.max_s = float(snap.get("max_s", 0.0))
+        return hist
+
     def snapshot(self) -> dict:
-        """JSON-safe digest: count, mean/min/max, p50/p90/p99."""
+        """JSON-safe digest: count, mean/min/max, p50/p90/p99, plus the
+        raw bucket counts so downstream aggregators (the fleet router)
+        can merge histograms bucket-wise instead of averaging digests."""
         return {
             "count": self.count,
             "mean_s": self.mean_s,
@@ -86,6 +149,10 @@ class LatencyHistogram:
             "p50_s": self.percentile(0.50),
             "p90_s": self.percentile(0.90),
             "p99_s": self.percentile(0.99),
+            "total_s": self.total_s,
+            "bucket_lo": self.bounds[0],
+            "buckets": len(self.bounds),
+            "counts": list(self.counts),
         }
 
 

@@ -237,6 +237,12 @@ class ExperimentService:
         """Whether the scheduler thread is running."""
         return self._thread is not None and self._thread.is_alive()
 
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently pending in the admission queue (the load
+        signal fleet-level placement and work stealing read)."""
+        return self._queue.depth
+
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "ExperimentService":
         """Start the scheduler thread (idempotent); returns self."""

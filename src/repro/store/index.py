@@ -34,7 +34,33 @@ import os
 from pathlib import Path
 from typing import Dict, Iterator
 
-__all__ = ["INDEX_SCHEMA", "INDEX_COLUMNS", "ColumnarIndex", "entry_columns"]
+__all__ = [
+    "INDEX_SCHEMA",
+    "INDEX_COLUMNS",
+    "ColumnarIndex",
+    "entry_columns",
+    "fsync_dir",
+]
+
+
+def fsync_dir(path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes the rename atomic but not durable: the new
+    directory entry lives in the page cache until the *directory*
+    inode is flushed.  Best-effort — platforms without directory fds
+    (or odd filesystems) are skipped silently.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
 
 #: schema tag of the index file (bump on breaking layout change)
 INDEX_SCHEMA = "repro.cache_index/1"
@@ -281,7 +307,10 @@ class ColumnarIndex:
                     )
                     + "\n"
                 )
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        fsync_dir(self.root)
         self._offset = self.path.stat().st_size
 
     # -- queries over rows ---------------------------------------------------

@@ -169,24 +169,18 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
 
 
-def run_aggregate(cache, field: str, where=None) -> dict:
-    """count/sum/mean/min/max/p50/p90/p99 of one column over the
-    filtered runs.
-
-    Index columns aggregate without touching a blob; a dotted report
-    path falls back to loading the matched entries.  Rows where the
-    field is absent or non-numeric are skipped (reported as
-    ``skipped``).
-    """
-    rows = run_query(cache, where=where, fields=[field])
-    values = [
+def _numeric_values(rows, field: str):
+    return [
         r.get(field)
         for r in rows
         if isinstance(r.get(field), (int, float))
         and not isinstance(r.get(field), bool)
     ]
+
+
+def _stats(rows, field: str) -> dict:
+    values = _numeric_values(rows, field)
     out = {
-        "field": field,
         "count": len(values),
         "skipped": len(rows) - len(values),
     }
@@ -202,4 +196,49 @@ def run_aggregate(cache, field: str, where=None) -> dict:
                 "p99": percentile(values, 99),
             }
         )
+    return out
+
+
+def run_aggregate(
+    cache, field: str, where=None, group_by: Optional[str] = None
+) -> dict:
+    """count/sum/mean/min/max/p50/p90/p99 of one column over the
+    filtered runs.
+
+    Index columns aggregate without touching a blob; a dotted report
+    path falls back to loading the matched entries.  Rows where the
+    field is absent or non-numeric are skipped (reported as
+    ``skipped``).
+
+    ``group_by`` splits the matched rows by another column's value
+    (per-axis aggregates — p99 runtime *per mode*, mean overhead *per
+    node count* — still from the index alone when both columns are
+    indexed); the result then carries ``groups``: one stats dict per
+    distinct value, ordered by group value, with rows lacking the
+    grouping column collected under the ``None`` group.
+    """
+    fields = [field] if group_by in (None, field) else [field, group_by]
+    rows = run_query(cache, where=where, fields=fields)
+    out = {"field": field, **_stats(rows, field)}
+    if group_by is None:
+        return out
+    out["group_by"] = group_by
+    grouped: dict = {}
+    for row in rows:
+        grouped.setdefault(row.get(group_by), []).append(row)
+
+    def _group_key(value):
+        # numbers sort numerically, then strings lexically, None last
+        if value is None:
+            return (2, 0.0, "")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return (0, float(value), "")
+        return (1, 0.0, str(value))
+
+    out["groups"] = [
+        {"group": value, **_stats(group_rows, field)}
+        for value, group_rows in sorted(
+            grouped.items(), key=lambda kv: _group_key(kv[0])
+        )
+    ]
     return out

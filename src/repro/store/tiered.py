@@ -37,7 +37,7 @@ from pathlib import Path
 from typing import Iterator, Optional
 
 from ..engine import ExperimentSpec, RunReport
-from .index import ColumnarIndex, entry_columns
+from .index import ColumnarIndex, entry_columns, fsync_dir
 from .keys import cache_key, code_salt
 from .lru import ReportLRU
 
@@ -444,8 +444,11 @@ class ResultCache:
         ``where`` filters on index columns (see
         :func:`repro.store.query.parse_predicates`); None exports the
         whole store.  The bundle carries the full entry payloads, so
-        an import round trip is bit-identical.  Returns ``{"exported":
-        n, "bytes": b, "path": p}``.
+        an import round trip is bit-identical.  The file appears
+        atomically (tmp write + rename) and both it and its directory
+        entry are fsynced — a reader never sees a half bundle and a
+        crash right after return cannot lose it.  Returns
+        ``{"exported": n, "bytes": b, "path": p}``.
         """
         from .query import matches, parse_predicates
 
@@ -467,7 +470,13 @@ class ResultCache:
         raw = json.dumps(bundle, sort_keys=True).encode("utf-8")
         out = Path(path).expanduser()
         out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_bytes(raw)
+        tmp = out.with_suffix(out.suffix + f".{os.getpid()}.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(raw)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, out)
+        fsync_dir(out.parent)
         return {"exported": len(entries), "bytes": len(raw), "path": str(out)}
 
     def import_bundle(self, path) -> dict:
@@ -519,12 +528,15 @@ class ResultCache:
 
         return run_query(self, where=where, fields=fields, limit=limit)
 
-    def aggregate(self, field: str, where=None) -> dict:
-        """Aggregate one column over the filtered runs; see
+    def aggregate(
+        self, field: str, where=None, group_by: Optional[str] = None
+    ) -> dict:
+        """Aggregate one column over the filtered runs, optionally
+        split per distinct value of another column; see
         :func:`repro.store.query.run_aggregate`."""
         from .query import run_aggregate
 
-        return run_aggregate(self, field, where=where)
+        return run_aggregate(self, field, where=where, group_by=group_by)
 
 
 #: descriptive alias for docs and discovery ("the tiered store")

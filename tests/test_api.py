@@ -167,6 +167,17 @@ def test_session_query_and_aggregate(tmp_path):
     assert agg["count"] == 1 and agg["mean"] > 0
 
 
+def test_session_aggregate_group_by(tmp_path):
+    s = Session(cache=tmp_path / "store")
+    for mode, steps in (("cluster", 3), ("booster", 3), ("cb", 4)):
+        s.run(mode=mode, steps=steps)
+    agg = s.aggregate("total_runtime", group_by="mode")
+    assert agg["group_by"] == "mode"
+    groups = {g["group"]: g["count"] for g in agg["groups"]}
+    assert groups == {"Booster": 1, "C+B": 1, "Cluster": 1}
+    assert sum(groups.values()) == agg["count"] == 3
+
+
 def test_session_query_without_cache_raises():
     with pytest.raises(ValueError, match="no result cache"):
         Session().query()

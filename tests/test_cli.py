@@ -278,3 +278,41 @@ def test_query_command(tmp_path, capsys):
 
     assert main(["query", "--dir", store, "--where", "steps~3"]) == 2
     assert "predicate" in capsys.readouterr().err
+
+
+def test_query_group_by(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    for mode in ("cluster", "booster", "cb"):
+        assert main(
+            ["run", "--mode", mode, "--steps", "3", "--cache", store]
+        ) == 0
+    capsys.readouterr()
+
+    assert main(
+        ["query", "--dir", store, "--agg", "total_runtime",
+         "--group-by", "mode"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Aggregate: total_runtime per mode" in out
+    for mode in ("Booster", "C+B", "Cluster"):
+        assert mode in out
+
+    json_path = tmp_path / "grouped.json"
+    assert main(
+        ["query", "--dir", store, "--agg", "total_runtime",
+         "--group-by", "mode", "--json", str(json_path)]
+    ) == 0
+    capsys.readouterr()
+    import json
+
+    agg = json.loads(json_path.read_text())["aggregate"]
+    assert agg["group_by"] == "mode"
+    assert [g["group"] for g in agg["groups"]] == [
+        "Booster", "C+B", "Cluster"
+    ]
+
+    # --group-by is meaningless without an aggregate field
+    assert main(
+        ["query", "--dir", store, "--group-by", "mode"]
+    ) == 2
+    assert "--agg" in capsys.readouterr().err

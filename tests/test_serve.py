@@ -71,6 +71,29 @@ def test_requeue_bypasses_depth_bound():
     assert q.depth == 2
 
 
+def test_pop_expired_ignores_priority_and_keeps_insertion_order():
+    q = JobQueue(max_depth=16)
+    # mixed priorities, interleaved deadlines: ids 1/3/5 expire at t=10,
+    # ids 2/4 have no deadline or a late one
+    q.push(Job(1, spec(steps=1), "k1", priority=0, submitted_s=0.0,
+               deadline_s=5.0))
+    q.push(Job(2, spec(steps=2), "k2", priority=9))
+    q.push(Job(3, spec(steps=3), "k3", priority=9, submitted_s=0.0,
+               deadline_s=5.0))
+    q.push(Job(4, spec(steps=4), "k4", priority=0, submitted_s=0.0,
+               deadline_s=99.0))
+    q.push(Job(5, spec(steps=5), "k5", priority=4, submitted_s=0.0,
+               deadline_s=5.0))
+    expired = q.pop_expired(now=10.0)
+    # expiry sweeps in insertion order — priority orders *dispatch*,
+    # not deadline enforcement
+    assert [j.id for j in expired] == [1, 3, 5]
+    assert q.depth == 2
+    # survivors still dispatch in priority order
+    assert [j.id for j in q.pop_batch(2)] == [2, 4]
+    assert q.pop_expired(now=10.0) == []
+
+
 # -- service: coalescing and cache ------------------------------------------
 
 
@@ -352,6 +375,37 @@ def test_filejob_malformed_request_gets_failed_result(tmp_path):
     stats = serve_jobdir(jobdir, once=True)
     assert stats["executed"] == 0
     result = wait_result(jobdir, "bad", timeout=5)
+    assert result["status"] == "failed"
+    assert "malformed" in result["error"]
+
+
+def test_filejob_malformed_grace_is_configurable(tmp_path):
+    import os
+    import time
+
+    jobdir = tmp_path / "jobs"
+    (jobdir / "queue").mkdir(parents=True)
+    payload = json.dumps(
+        {
+            "schema": "repro.job_request/1",
+            "id": "torn",
+            "spec": spec(steps=3).to_dict(),
+        },
+        sort_keys=True,
+    )
+    path = jobdir / "queue" / "torn.json"
+    path.write_text(payload[: len(payload) // 2])  # writer died mid-write
+    # age the file past the default 0.5s grace; a generous explicit
+    # grace still treats it as in-flight and leaves it in place
+    old = time.time() - 2.0
+    os.utime(path, (old, old))
+    serve_jobdir(jobdir, once=True, malformed_grace_s=3600.0)
+    assert path.exists()
+    assert not (jobdir / "results" / "torn.json").exists()
+    # a zero grace rejects the same file immediately
+    serve_jobdir(jobdir, once=True, malformed_grace_s=0.0)
+    assert not path.exists()
+    result = wait_result(jobdir, "torn", timeout=5)
     assert result["status"] == "failed"
     assert "malformed" in result["error"]
 

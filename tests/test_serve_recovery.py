@@ -551,3 +551,51 @@ def test_cli_serve_status_reports_dead_service(tmp_path, capsys):
     assert "stopped cleanly" in out
     assert "journal:" in out
     assert "journal replays" in out  # metrics table rendered
+
+
+def test_cli_serve_status_stale_threshold(tmp_path, capsys):
+    from repro.cli import main
+    from repro.serve.health import HEARTBEAT_SCHEMA
+
+    jobdir = tmp_path / "jobs"
+    jobdir.mkdir()
+
+    def beat(pid, age_s):
+        (jobdir / "heartbeat.json").write_text(
+            json.dumps(
+                {
+                    "schema": HEARTBEAT_SCHEMA,
+                    "pid": pid,
+                    "time_s": time.time() - age_s,  # wall-clock-ok: faking beat age
+                    "status": "serving",
+                }
+            )
+        )
+
+    # an alive pid with an old beat: stale past the default 30s
+    # threshold, fresh under an explicit generous one
+    beat(os.getpid(), age_s=100.0)
+    assert main(["serve", "--jobdir", str(jobdir), "--status"]) == 1
+    assert "STALE" in capsys.readouterr().out
+    assert main(
+        ["serve", "--jobdir", str(jobdir), "--status",
+         "--stale-after-s", "1000"]
+    ) == 0
+    assert "STALE" not in capsys.readouterr().out
+    # a tight threshold flags even a recent beat
+    beat(os.getpid(), age_s=2.0)
+    assert main(
+        ["serve", "--jobdir", str(jobdir), "--status",
+         "--stale-after-s", "0.5"]
+    ) == 1
+    assert "threshold 0.5s" in capsys.readouterr().out
+    # a dead pid is stale no matter how fresh the beat or threshold
+    reaped = subprocess.Popen([sys.executable, "-c", "pass"])
+    reaped.wait()
+    beat(reaped.pid, age_s=0.0)
+    assert main(
+        ["serve", "--jobdir", str(jobdir), "--status",
+         "--stale-after-s", "1000"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "DEAD" in out and "STALE" in out

@@ -476,6 +476,39 @@ def test_aggregate_skips_non_numeric(store):
     assert agg["count"] == 0 and agg["skipped"] == 1
 
 
+def test_aggregate_group_by_is_index_only(tmp_path):
+    cache = ResultCache(tmp_path, lru_entries=0)
+    _populate_grid(cache, n=120)
+    q = ResultCache(tmp_path, lru_entries=0)
+    agg = q.aggregate("total_runtime", group_by="mode")
+    assert q.blob_loads == 0, "grouped aggregate must stay index-only"
+    assert agg["group_by"] == "mode"
+    # groups ordered by value; counts partition the overall count
+    assert [g["group"] for g in agg["groups"]] == [
+        "Booster", "C+B", "Cluster"
+    ]
+    assert sum(g["count"] for g in agg["groups"]) == agg["count"] == 120
+    for g in agg["groups"]:
+        expected = [
+            1.0 + (i % 17) * 0.25
+            for i in range(120)
+            if ("Cluster", "Booster", "C+B")[i % 3] == g["group"]
+        ]
+        assert g["count"] == len(expected)
+        assert g["mean"] == pytest.approx(sum(expected) / len(expected))
+        assert g["p99"] == pytest.approx(percentile(expected, 99))
+    # numeric grouping column sorts numerically
+    by_nodes = q.aggregate("total_runtime", group_by="nodes_per_solver")
+    assert [g["group"] for g in by_nodes["groups"]] == [1, 2, 4, 8]
+
+
+def test_aggregate_group_by_missing_column_collects_none(store):
+    _populate_grid(store, n=9)
+    agg = store.aggregate("total_runtime", group_by="no_such_column")
+    assert [g["group"] for g in agg["groups"]] == [None]
+    assert agg["groups"][0]["count"] == agg["count"] == 9
+
+
 def test_parse_predicates_and_percentile_edges():
     assert parse_predicates(None) == []
     assert parse_predicates("steps>=10") == [("steps", ">=", 10)]
