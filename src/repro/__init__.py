@@ -15,6 +15,8 @@ the full stack the paper describes:
 * :mod:`repro.resiliency` — SCR-like multi-level checkpoint/restart
 * :mod:`repro.nam`        — network attached memory
 * :mod:`repro.apps.xpic`  — the xPic PIC application (Figs 5-8)
+* :mod:`repro.partition`  — the canonical (optionally hierarchical)
+  :class:`~repro.partition.Partition` type every layer shares
 * :mod:`repro.engine`     — declarative experiment specs + run engine
 * :mod:`repro.instrument` — cross-layer metrics hub
 * :mod:`repro.store`      — tiered content-addressed result store
@@ -34,12 +36,13 @@ the full stack the paper describes:
     report = Session().run(mode="cb", steps=100)
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from .api import Session
 from .engine import Engine, ExperimentSpec, RunReport, SweepReport
 from .hardware import Machine, build_deep_er_prototype
 from .instrument import MetricsHub
+from .partition import Partition
 from .report import load_report, report_from_dict
 from .serve import ExperimentService, QueueFull
 from .sim import Simulator
@@ -51,6 +54,7 @@ __all__ = [
     "build_deep_er_prototype",
     "Engine",
     "ExperimentSpec",
+    "Partition",
     "RunReport",
     "SweepReport",
     "MetricsHub",

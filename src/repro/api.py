@@ -99,15 +99,22 @@ class Session:
             cache=self.cache,
         )
 
-    def tune(self, space=None, **kwargs):
+    def tune(self, space=None, nested: bool = False, **kwargs):
         """Autotune the Cluster/Booster partition; returns a TuneReport.
 
         Forwards to :func:`repro.autotune.tune` with the session's
         engine, cache, and worker width pre-bound (each still
-        overridable by keyword).
+        overridable by keyword).  ``nested=True`` widens the search to
+        hierarchical partitions — homogeneous pools sub-split into
+        co-scheduled fields/particles arms — either by flipping the
+        flag on the default space or on the ``space`` you pass in.
         """
-        from .autotune import tune
+        import dataclasses as _dc
 
+        from .autotune import TuneSpace, tune
+
+        if nested:
+            space = _dc.replace(space or TuneSpace(), nested=True)
         kwargs.setdefault("engine", self.engine)
         kwargs.setdefault("cache", self.cache)
         kwargs.setdefault("workers", self.workers)

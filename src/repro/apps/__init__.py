@@ -1,1 +1,20 @@
-"""Co-design applications (section IV).  Currently: xPic."""
+"""Co-design applications (section IV) behind a name-keyed registry.
+
+Two workloads ship today — :mod:`repro.apps.xpic` (the Space Weather
+particle-in-cell code, Figs 5-8) and :mod:`repro.apps.seismic` (the
+full-waveform-inversion stencil) — and each registers an engine runner
+under its name via :mod:`repro.apps.registry`.  ``ExperimentSpec``,
+the engine dispatch, and the CLI all resolve apps through
+:func:`get_app`/:func:`available_apps`, so future ROADMAP workloads
+plug in by registering themselves rather than editing the engine.
+"""
+
+from .registry import App, available_apps, get_app, register
+
+# importing the app modules runs their @register decorators; every
+# consumer of the registry goes through this package, so the registry
+# is always populated before it is queried
+from .seismic import app as _seismic_app  # noqa: F401
+from .xpic import app as _xpic_app  # noqa: F401
+
+__all__ = ["App", "available_apps", "get_app", "register"]

@@ -7,7 +7,7 @@ machine in the paper's three evaluation modes.
 """
 
 from .config import SpeciesConfig, XpicConfig, table2_setup
-from .driver import Mode, RunResult, run_experiment
+from .driver import Mode, RunResult, normalize_mode, run_experiment
 from .fields import FieldSolver, conjugate_gradient
 from .grid import Grid2D
 from .interface import (
@@ -29,6 +29,7 @@ __all__ = [
     "table2_setup",
     "Mode",
     "RunResult",
+    "normalize_mode",
     "run_experiment",
     "FieldSolver",
     "conjugate_gradient",

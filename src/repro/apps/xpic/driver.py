@@ -34,7 +34,7 @@ from .workload import (
     migration_nbytes,
 )
 
-__all__ = ["Mode", "RunResult", "run_experiment"]
+__all__ = ["Mode", "RunResult", "normalize_mode", "run_experiment"]
 
 TAG_FIELDS = 101
 TAG_MOMENTS = 102
@@ -48,6 +48,31 @@ class Mode(str, enum.Enum):
     CLUSTER = "Cluster"
     BOOSTER = "Booster"
     CB = "C+B"
+
+
+_MODE_ALIASES = {
+    "cluster": Mode.CLUSTER,
+    "booster": Mode.BOOSTER,
+    "cb": Mode.CB,
+    "c+b": Mode.CB,
+}
+
+
+def normalize_mode(mode) -> Mode:
+    """Accept a Mode, its value, or a case-insensitive alias ('cb')."""
+    if isinstance(mode, Mode):
+        return mode
+    try:
+        return Mode(mode)
+    except ValueError:
+        pass
+    key = str(mode).strip().lower()
+    if key in _MODE_ALIASES:
+        return _MODE_ALIASES[key]
+    raise ValueError(
+        f"unknown mode {mode!r} (expected one of "
+        f"{[m.value for m in Mode]} or {sorted(_MODE_ALIASES)})"
+    )
 
 
 @dataclass
@@ -449,6 +474,7 @@ def run_experiment(
     load_balanced: bool = False,
     imbalance_alpha: Optional[float] = None,
     runtime: Optional[MPIRuntime] = None,
+    partition=None,
 ) -> RunResult:
     """Run one xPic experiment and return its timing breakdown.
 
@@ -460,8 +486,21 @@ def run_experiment(
     ``swap_placement=True`` (C+B only) inverts the partition — field
     solver on the Booster, particle solver on the Cluster — the
     placement ablation.
+
+    ``partition`` optionally passes a hierarchical
+    :class:`~repro.partition.Partition`: a nested homogeneous layout
+    (``2k`` same-kind nodes with a ``k+k`` arm) reuses the C+B split
+    topology — particle ranks on half the pool spawning field ranks on
+    the other half — entirely inside one node kind.  Flat partitions
+    are redundant with the plain kwargs and take the plain path.
     """
     mode = Mode(mode)
+    if partition is not None and getattr(partition, "is_nested", False):
+        return _run_nested(
+            machine, mode, config, partition, tracer=tracer,
+            load_balanced=load_balanced, imbalance_alpha=imbalance_alpha,
+            runtime=runtime,
+        )
     n = nodes_per_solver
     kwargs = {"load_balanced": load_balanced}
     if imbalance_alpha is not None:
@@ -494,6 +533,59 @@ def run_experiment(
     booster_timers = [p[0] for p in pairs]
     cluster_timers = [p[1] for p in pairs]
     return _aggregate(mode, n, config.steps, booster_timers, cluster_timers)
+
+
+def _run_nested(
+    machine: Machine,
+    mode: Mode,
+    config: XpicConfig,
+    partition,
+    tracer: Optional[Tracer] = None,
+    load_balanced: bool = False,
+    imbalance_alpha: Optional[float] = None,
+    runtime: Optional[MPIRuntime] = None,
+) -> RunResult:
+    """Execute a nested homogeneous partition.
+
+    The root claims ``2k`` same-kind nodes; the arm co-schedules the
+    field solver on the first ``k`` with the particle solver on the
+    last ``k``, wired through the same spawn/pair topology as a C+B
+    split (Listings 2/3) — only both node lists come from one pool.
+    """
+    if mode is Mode.CB:
+        raise ValueError("a C+B partition cannot be nested")
+    if partition.mode != mode.value:
+        raise ValueError(
+            f"partition {partition.label()!r} does not run in mode "
+            f"{mode.value!r}"
+        )
+    arm = partition.arm
+    k = arm.cluster_nodes
+    pool = (
+        machine.cluster if mode is Mode.CLUSTER else machine.booster
+    )[: partition.total_nodes]
+    if len(pool) < partition.total_nodes:
+        raise ValueError(
+            f"machine has only {len(pool)} {mode.value} nodes but the "
+            f"nested partition needs {partition.total_nodes}"
+        )
+    kwargs = {"load_balanced": load_balanced}
+    if imbalance_alpha is not None:
+        kwargs["imbalance_alpha"] = imbalance_alpha
+    wl = build_workload(config, k, **kwargs)
+    rt = runtime if runtime is not None else MPIRuntime(machine)
+    if rt.machine is not machine:
+        raise ValueError("runtime belongs to a different machine")
+    field_nodes, particle_nodes = pool[:k], pool[k:]
+    pairs = rt.run_app(
+        lambda c: _booster_particle_app(
+            c, config, wl, field_nodes, overlap=arm.overlap, tracer=tracer
+        ),
+        particle_nodes,
+    )
+    particle_timers = [p[0] for p in pairs]
+    field_timers = [p[1] for p in pairs]
+    return _aggregate(mode, k, config.steps, particle_timers, field_timers)
 
 
 def _aggregate(

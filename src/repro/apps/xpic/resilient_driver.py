@@ -627,5 +627,18 @@ def run_resilient_experiment(
         "reboots": stats["reboots"],
         "degraded_mode": stats["degraded_mode"],
         "epochs": epochs,
+        # throughput over the completing epoch: after the last recovery
+        # (or the whole run when nothing failed) — the denominator of
+        # the malleable-vs-static recovery comparison
+        "post_fault": {
+            "steps": config.steps - hooks_list[-1].start_step,
+            "window_s": end - epoch_start,
+            "steps_per_s": (
+                (config.steps - hooks_list[-1].start_step)
+                / (end - epoch_start)
+                if end > epoch_start
+                else 0.0
+            ),
+        },
     }
     return result, resiliency

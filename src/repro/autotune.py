@@ -30,20 +30,22 @@ or from the command line: ``python -m repro tune --steps 200``.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import math
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Tuple
 
 from .apps.xpic import XpicConfig, build_workload, table2_setup
 from .engine import Engine, ExperimentSpec, preset_machine
-from .perfmodel import predict_partition_step
+from .partition import Partition
+from .perfmodel import predict_partition
 
 __all__ = [
     "TUNE_SCHEMA",
+    "Partition",
     "PartitionConfig",
     "TuneSpace",
     "TuneReport",
@@ -54,109 +56,43 @@ __all__ = [
 #: schema tag of the TuneReport JSON export (bump on breaking change)
 TUNE_SCHEMA = "repro.tune_report/1"
 
-#: the hand-coded partition every figure script uses (C+B, one node per
-#: solver, overlap on) — the baseline a tune must match or beat
-HAND_CODED = None  # set below, after PartitionConfig is defined
 
+class PartitionConfig(Partition):
+    """Deprecated alias of :class:`repro.partition.Partition`.
 
-@dataclass(frozen=True, order=True)
-class PartitionConfig:
-    """One point of the partition search space.
-
-    ``cluster_nodes``/``booster_nodes`` are the ranks given to each
-    side: one side zero means a homogeneous run on the other side;
-    both non-zero means the C+B split (the driver pairs the sides one
-    to one, so the counts must match).  ``overlap`` and
-    ``swap_placement`` only distinguish split runs and are normalized
-    to their defaults for homogeneous ones, so equivalent layouts
-    collapse onto one canonical config (and one cache key).
+    The 1.x autotuner owned the partition value type; 1.8 promoted it
+    to the shared :mod:`repro.partition` module (with hierarchical
+    arms).  This shim keeps old constructor call sites working — it
+    *is* a ``Partition`` and compares/hashes equal to one — but warns
+    so callers migrate.
     """
 
-    cluster_nodes: int = 1
-    booster_nodes: int = 1
-    overlap: bool = True
-    swap_placement: bool = False
-
-    def __post_init__(self):
-        if self.cluster_nodes < 0 or self.booster_nodes < 0:
-            raise ValueError("node counts cannot be negative")
-        if self.cluster_nodes == 0 and self.booster_nodes == 0:
-            raise ValueError("partition needs nodes on at least one side")
-        if (
-            self.cluster_nodes > 0
-            and self.booster_nodes > 0
-            and self.cluster_nodes != self.booster_nodes
-        ):
-            raise ValueError(
-                "the C+B driver pairs sides one to one: cluster and "
-                "booster ranks must match"
-            )
-        if self.cluster_nodes == 0 or self.booster_nodes == 0:
-            # overlap/placement only exist for split runs: canonicalize
-            object.__setattr__(self, "overlap", True)
-            object.__setattr__(self, "swap_placement", False)
-
-    # -- mapping onto the experiment engine ---------------------------------
-    @property
-    def mode(self) -> str:
-        """The engine mode this partition maps to."""
-        if self.booster_nodes == 0:
-            return "Cluster"
-        if self.cluster_nodes == 0:
-            return "Booster"
-        return "C+B"
-
-    @property
-    def nodes_per_solver(self) -> int:
-        """Fig 8's x-axis: ranks per solver side."""
-        return max(self.cluster_nodes, self.booster_nodes)
-
-    def label(self) -> str:
-        """Compact human-readable form, e.g. ``C+B 4+4`` or ``Cluster 8``."""
-        if self.mode == "C+B":
-            text = f"C+B {self.cluster_nodes}+{self.booster_nodes}"
-            if not self.overlap:
-                text += " no-overlap"
-            if self.swap_placement:
-                text += " swapped"
-            return text
-        return f"{self.mode} {self.nodes_per_solver}"
-
-    def to_spec(
+    def __init__(
         self,
-        steps: int,
-        preset: str = "deep-er",
-        seed: int = 20180521,
-        config: Optional[XpicConfig] = None,
+        cluster_nodes: int = 1,
+        booster_nodes: int = 1,
+        overlap: bool = True,
+        swap_placement: bool = False,
         **kwargs,
-    ) -> ExperimentSpec:
-        """The :class:`~repro.engine.ExperimentSpec` of this partition."""
-        if config is not None and config.steps != steps:
-            config = dataclasses.replace(config, steps=steps)
-        return ExperimentSpec(
-            preset=preset,
-            app="xpic",
-            mode=self.mode,
-            steps=steps,
-            nodes_per_solver=self.nodes_per_solver,
-            overlap=self.overlap,
-            swap_placement=self.swap_placement,
-            seed=seed,
-            config=config,
+    ):
+        warnings.warn(
+            "repro.autotune.PartitionConfig is deprecated; use "
+            "repro.partition.Partition",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            cluster_nodes=cluster_nodes,
+            booster_nodes=booster_nodes,
+            overlap=overlap,
+            swap_placement=swap_placement,
             **kwargs,
         )
 
-    # -- (de)serialization --------------------------------------------------
-    def to_dict(self) -> dict:
-        """JSON-safe dict form (the shape stored in cache keys/reports)."""
-        return dataclasses.asdict(self)
 
-    @classmethod
-    def from_dict(cls, d: dict) -> "PartitionConfig":
-        return cls(**d)
-
-
-HAND_CODED = PartitionConfig(
+#: the hand-coded partition every figure script uses (C+B, one node per
+#: solver, overlap on) — the baseline a tune must match or beat
+HAND_CODED = Partition(
     cluster_nodes=1, booster_nodes=1, overlap=True, swap_placement=False
 )
 
@@ -175,6 +111,7 @@ class TuneSpace:
     overlap: Tuple[bool, ...] = (True, False)
     swap_placement: Tuple[bool, ...] = (False, True)
     include_homogeneous: bool = True
+    nested: bool = False
 
     def __post_init__(self):
         if not self.node_counts or any(n < 1 for n in self.node_counts):
@@ -184,12 +121,16 @@ class TuneSpace:
         self,
         machine=None,
         config: Optional[XpicConfig] = None,
-    ) -> List[PartitionConfig]:
-        """Enumerate the feasible configs, sorted and deduplicated.
+    ) -> List[Partition]:
+        """Enumerate the feasible partitions, sorted and deduplicated.
 
         ``machine`` caps rank counts at what each side physically has;
         ``config`` drops counts its row-slab decomposition cannot honor
-        (``ny`` must split evenly across ranks).
+        (``ny`` must split evenly across ranks).  With ``nested=True``
+        each feasible solver width ``k`` also contributes the
+        hierarchical layouts — ``2k`` same-kind nodes sub-split into a
+        co-scheduled ``k+k`` fields/particles arm — on every side with
+        enough nodes.
         """
         counts = sorted(set(self.node_counts))
         if config is not None:
@@ -200,9 +141,18 @@ class TuneSpace:
         for n in counts:
             if self.include_homogeneous:
                 if max_cluster is None or n <= max_cluster:
-                    found.add(PartitionConfig(n, 0))
+                    found.add(Partition(n, 0))
                 if max_booster is None or n <= max_booster:
-                    found.add(PartitionConfig(0, n))
+                    found.add(Partition(0, n))
+            if self.nested:
+                # the arm runs each solver at width n, so the root
+                # claims 2n same-kind nodes and inherits n's ny cut
+                for ov in self.overlap:
+                    arm = Partition(n, n, overlap=ov)
+                    if max_cluster is None or 2 * n <= max_cluster:
+                        found.add(Partition(2 * n, 0, cluster_arm=arm))
+                    if max_booster is None or 2 * n <= max_booster:
+                        found.add(Partition(0, 2 * n, booster_arm=arm))
             if max_cluster is not None and n > max_cluster:
                 continue
             if max_booster is not None and n > max_booster:
@@ -210,31 +160,35 @@ class TuneSpace:
             for ov in self.overlap:
                 for swap in self.swap_placement:
                     found.add(
-                        PartitionConfig(n, n, overlap=ov, swap_placement=swap)
+                        Partition(n, n, overlap=ov, swap_placement=swap)
                     )
         return sorted(found)
 
 
-def predict_config_step(
-    machine, config: XpicConfig, cfg: PartitionConfig
-):
+def predict_config_step(machine, config: XpicConfig, cfg):
     """Per-step :class:`~repro.perfmodel.PartitionEstimate` of one
     candidate on a machine, from the calibrated kernel model and the
     per-rank workload decomposition (the seeding signal of the search).
+
+    ``cfg`` may be nested: scoring recurses through
+    :func:`~repro.perfmodel.predict_partition`, re-deriving the
+    workload decomposition at each level's actual solver width.
     """
-    wl = build_workload(config, cfg.nodes_per_solver)
-    cluster_node = machine.cluster[0] if cfg.cluster_nodes else None
-    booster_node = machine.booster[0] if cfg.booster_nodes else None
-    return predict_partition_step(
-        cluster_node,
-        booster_node,
-        wl.field_kernel,
-        wl.particle_kernel,
-        exchange_nbytes=(
-            wl.fields_exchange_nbytes + wl.moments_exchange_nbytes
-        ),
-        overlap=cfg.overlap,
-        swap_placement=cfg.swap_placement,
+    cfg = Partition.coerce(cfg)
+
+    def kernels_for(ranks: int):
+        wl = build_workload(config, ranks)
+        return (
+            wl.field_kernel,
+            wl.particle_kernel,
+            wl.fields_exchange_nbytes + wl.moments_exchange_nbytes,
+        )
+
+    return predict_partition(
+        machine.cluster[0] if machine.cluster else None,
+        machine.booster[0] if machine.booster else None,
+        cfg,
+        kernels_for,
     )
 
 
@@ -264,9 +218,9 @@ class TuneReport:
     schema: str = TUNE_SCHEMA
 
     @property
-    def best_config(self) -> PartitionConfig:
-        """The winning partition as a :class:`PartitionConfig`."""
-        return PartitionConfig.from_dict(self.best)
+    def best_config(self) -> Partition:
+        """The winning partition as a :class:`~repro.partition.Partition`."""
+        return Partition.from_dict(self.best)
 
     @property
     def speedup_vs_baseline(self) -> float:

@@ -42,6 +42,7 @@ import sys
 from typing import List, Optional
 
 from .api import Session
+from .apps import available_apps
 from .apps.xpic import Mode
 from .autotune import TuneReport, TuneSpace
 from .cache import ResultCache
@@ -302,6 +303,42 @@ def render_run_report(report: RunReport) -> str:
         ]
         out.append("")
         out.append(render_table(["Metric", "Value"], rows, title="Resiliency"))
+    mal = report.malleability
+    if mal:
+        rows = [
+            ("initial partition", str(mal.get("initial_label", "-"))),
+            ("final partition", str(mal.get("final_label", "-"))),
+            ("recoveries", str(mal.get("recoveries", 0))),
+            ("re-partitions", str(mal.get("repartitions_count", 0))),
+            ("time to recover [s]",
+             f"{mal.get('time_to_recover_s', 0.0):.4f}"),
+            ("post-fault steps/s",
+             f"{mal.get('post_fault_steps_per_s', 0.0):.2f}"),
+            ("re-tune cache hits", str(mal.get("retune_memo_hits", 0))),
+        ]
+        out.append("")
+        out.append(
+            render_table(["Metric", "Value"], rows, title="Malleability")
+        )
+        events = mal.get("repartitions", [])
+        if events:
+            out.append("")
+            out.append(
+                render_table(
+                    ["t [s]", "From", "To", "Restart step",
+                     "Candidates", "Recover [s]"],
+                    [
+                        (f"{e.get('time_s', 0.0):.3f}",
+                         str(e.get("from_label", "-")),
+                         str(e.get("to_label", "-")),
+                         str(e.get("restart_step") or 0),
+                         str(e.get("candidates", 0)),
+                         f"{e.get('recover_s', 0.0):.4f}")
+                        for e in events
+                    ],
+                    title="Re-partition events",
+                )
+            )
     comms = report.mpi.get("communicators", {})
     if comms:
         out.append("")
@@ -352,6 +389,11 @@ def _spec_from_args(args) -> ExperimentSpec:
         trace=getattr(args, "trace", False)
         or bool(getattr(args, "chrome_trace", None)),
         sim_backend=getattr(args, "sim_backend", None),
+        malleability=(
+            {"enabled": True}
+            if getattr(args, "malleable", False)
+            else None
+        ),
         **_fault_kwargs(args),
     )
 
@@ -594,6 +636,7 @@ def cmd_tune(args) -> str:
     )
     report = session.tune(
         space=space,
+        nested=getattr(args, "nested", False),
         steps=args.steps,
         preset=args.preset,
         generations=args.generations,
@@ -1178,6 +1221,7 @@ def cmd_bench(args) -> str:
                 "benchmarks/test_cache_lookup.py",
                 "benchmarks/test_journal_append.py",
                 "benchmarks/test_fleet_router.py",
+                "benchmarks/test_malleable_recover.py",
             ]
         )
         cmd = [_sys.executable, "-m", "pytest", "--benchmark-only", "-q"]
@@ -1267,7 +1311,7 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument(
             "--app",
             default="xpic",
-            choices=["xpic", "seismic"],
+            choices=available_apps(),
             help="application driver (default xpic)",
         )
         sp.add_argument(
@@ -1312,6 +1356,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="force the checkpoint cadence [s] (default: Young/Daly "
             "optimum when --mtbf is given)",
+        )
+        sp.add_argument(
+            "--malleable",
+            action="store_true",
+            help="on node loss, re-tune the partition over the "
+            "surviving machine and resume there (instead of the "
+            "static degradation script); needs fault injection",
         )
         sp.add_argument(
             "--json", metavar="FILE", default=None,
@@ -1492,7 +1543,7 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument(
         "--app",
         default="xpic",
-        choices=["xpic", "seismic"],
+        choices=available_apps(),
         help="application driver (default xpic)",
     )
     sw.add_argument(
@@ -1587,6 +1638,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tn.add_argument(
         "--seed", type=int, default=20180521, help="workload RNG seed"
+    )
+    tn.add_argument(
+        "--nested",
+        action="store_true",
+        help="also search hierarchical partitions (homogeneous pools "
+        "sub-split into co-scheduled fields/particles arms)",
     )
     tn.add_argument(
         "--no-baseline",

@@ -32,10 +32,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from .apps.seismic import SeismicPlacement, run_seismic
-from .apps.xpic import Mode, run_experiment, table2_setup
+from .apps import available_apps, get_app
+from .apps.seismic import SeismicPlacement  # noqa: F401  (re-export)
+from .apps.xpic import Mode, normalize_mode, table2_setup  # noqa: F401
 from .apps.xpic.config import SpeciesConfig, XpicConfig
-from .apps.xpic.resilient_driver import run_resilient_experiment
 from .hardware.machine import (
     Machine,
     build_deep_er_prototype,
@@ -68,31 +68,6 @@ MACHINE_PRESETS = {
     "deep-er": build_deep_er_prototype,
     "jureca": build_jureca_like,
 }
-
-_MODE_ALIASES = {
-    "cluster": Mode.CLUSTER,
-    "booster": Mode.BOOSTER,
-    "cb": Mode.CB,
-    "c+b": Mode.CB,
-}
-
-
-def normalize_mode(mode) -> Mode:
-    """Accept a Mode, its value, or a case-insensitive alias ('cb')."""
-    if isinstance(mode, Mode):
-        return mode
-    try:
-        return Mode(mode)
-    except ValueError:
-        pass
-    key = str(mode).strip().lower()
-    if key in _MODE_ALIASES:
-        return _MODE_ALIASES[key]
-    raise ValueError(
-        f"unknown mode {mode!r} (expected one of "
-        f"{[m.value for m in Mode]} or {sorted(_MODE_ALIASES)})"
-    )
-
 
 def preset_machine(
     preset: str = "deep-er", sim: Optional[Simulator] = None, **overrides
@@ -159,6 +134,20 @@ class ExperimentSpec:
     #: execution detail, not an experiment parameter: backends are
     #: bit-identical, so the result cache deliberately ignores it.
     sim_backend: Optional[str] = None
+    #: canonical placement as a :class:`~repro.partition.Partition`
+    #: (stored in dict form so specs stay JSON-safe).  Authoritative
+    #: when set: the flat fields above are derived from it.  A *flat*
+    #: partition collapses into those fields and resets to ``None`` so
+    #: flat specs keep their historical shape (and cache keys); only
+    #: hierarchical (nested) partitions are carried through.
+    partition: Optional[dict] = None
+    #: malleability policy (see :class:`~repro.resiliency.malleable.
+    #: MalleabilityPolicy` for the keys).  With fault injection active,
+    #: routes the run through the malleable supervisor, which re-tunes
+    #: the partition over the surviving machine instead of the static
+    #: degradation script.  Without faults the plain path runs — a
+    #: zero-fault malleable spec is event-identical to today's engine.
+    malleability: Optional[dict] = None
 
     def __post_init__(self):
         if self.preset not in MACHINE_PRESETS:
@@ -166,12 +155,25 @@ class ExperimentSpec:
                 f"unknown preset {self.preset!r} "
                 f"(available: {sorted(MACHINE_PRESETS)})"
             )
-        if self.app not in ("xpic", "seismic"):
-            raise ValueError(f"unknown app {self.app!r}")
+        app_obj = get_app(self.app)  # raises ValueError on unknown apps
         if self.steps < 0:
             raise ValueError("steps cannot be negative")
         if self.nodes_per_solver < 1:
             raise ValueError("need at least one node per solver")
+        if self.partition is not None:
+            from .partition import Partition
+
+            part = Partition.coerce(self.partition)
+            if self.app != "xpic":
+                raise ValueError(
+                    "partitions are only wired to the xpic app"
+                )
+            # the partition is authoritative over the flat fields
+            self.mode = part.mode
+            self.nodes_per_solver = part.nodes_per_solver
+            self.overlap = part.overlap
+            self.swap_placement = part.swap_placement
+            self.partition = part.to_dict() if part.is_nested else None
         if isinstance(self.fault_plan, FaultPlan):
             self.fault_plan = self.fault_plan.to_dict()
         if self.fault_plan is not None:
@@ -183,15 +185,33 @@ class ExperimentSpec:
             raise ValueError("ckpt_interval_s must be positive")
         if self.sim_backend is not None:
             resolve_backend(self.sim_backend)  # fail fast on unknown names
-        if self.wants_resiliency and self.app != "xpic":
+        if self.wants_resiliency and not app_obj.supports_resiliency:
             raise ValueError("fault injection is only wired to the xpic app")
+        if self.malleability is not None:
+            from .resiliency.malleable import MalleabilityPolicy
+
+            if isinstance(self.malleability, MalleabilityPolicy):
+                self.malleability = self.malleability.to_dict()
+            # validate eagerly so a bad policy fails at construction
+            self.malleability = MalleabilityPolicy.from_dict(
+                self.malleability
+            ).to_dict()
+            if not app_obj.supports_malleability:
+                raise ValueError(
+                    f"app {self.app!r} does not support malleability"
+                )
+        if (
+            self.partition is not None
+            and self.wants_resiliency
+            and not self.wants_malleability
+        ):
+            raise ValueError(
+                "a hierarchical partition under fault injection needs "
+                "the malleable supervisor: set malleability "
+                "(e.g. {'enabled': True}) or run without faults"
+            )
         # normalize early so bad modes fail at spec construction
-        if self.app == "xpic":
-            self.mode = normalize_mode(self.mode).value
-        else:
-            self.mode = SeismicPlacement(
-                str(self.mode).strip().capitalize()
-            ).value
+        self.mode = app_obj.normalize_mode(self.mode)
 
     @property
     def wants_resiliency(self) -> bool:
@@ -206,6 +226,18 @@ class ExperimentSpec:
             plan_has_events
             or self.mtbf_s is not None
             or self.ckpt_interval_s is not None
+        )
+
+    @property
+    def wants_malleability(self) -> bool:
+        """True when this spec routes through the malleable supervisor:
+        an enabled malleability policy *and* fault injection.  Without
+        faults there is nothing to adapt to, so the plain (or static
+        resilient) path runs and stays event-identical."""
+        return bool(
+            self.malleability
+            and self.malleability.get("enabled", True)
+            and self.wants_resiliency
         )
 
     # -- machine construction ---------------------------------------------
@@ -319,6 +351,10 @@ class RunReport:
     #: injected, transport retries, checkpoints by level, restarts,
     #: lost work seconds, degraded-mode flag
     resiliency: dict = field(default_factory=dict)
+    #: malleability section (empty unless the malleable supervisor
+    #: ran): policy, initial/final partition, re-partition events,
+    #: time-to-recover, post-fault throughput
+    malleability: dict = field(default_factory=dict)
     schema: str = REPORT_SCHEMA
     run_result: Any = field(default=None, repr=False, compare=False)
     tracer: Any = field(default=None, repr=False, compare=False)
@@ -369,6 +405,7 @@ class RunReport:
             "phases": self.phases,
             "intervals": self.intervals,
             "resiliency": self.resiliency,
+            "malleability": self.malleability,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -388,6 +425,7 @@ class RunReport:
                 phases=d["phases"],
                 intervals=list(d.get("intervals", [])),
                 resiliency=dict(d.get("resiliency") or {}),
+                malleability=dict(d.get("malleability") or {}),
                 schema=d.get("schema", REPORT_SCHEMA),
             )
         except KeyError as exc:
@@ -742,13 +780,12 @@ class Engine:
             cache=cache,
         )
 
-        resiliency: dict = {}
-        if spec.app == "xpic":
-            result_obj, result, resiliency = self._run_xpic(
-                spec, machine, runtime, tracer
-            )
-        else:
-            result_obj, result = self._run_seismic(spec, machine, runtime)
+        app_obj = get_app(spec.app)
+        result_obj, result, resiliency, malleability = app_obj.runner(
+            spec, machine, runtime, tracer
+        )
+        if malleability:
+            hub.attach(malleable=malleability)
 
         metrics = hub.snapshot()
         metrics["sim"]["host_wall_s"] = time.perf_counter() - t0  # wall-clock-ok: host-side telemetry only
@@ -774,81 +811,7 @@ class Engine:
             phases=metrics["phases"],
             intervals=intervals,
             resiliency=resiliency,
+            malleability=metrics["malleability"],
             run_result=result_obj,
             tracer=tracer,
         )
-
-    # -- app drivers --------------------------------------------------------
-    def _run_xpic(self, spec, machine, runtime, tracer):
-        cfg = spec.config
-        if cfg is None:
-            cfg = table2_setup(steps=spec.steps)
-            if spec.seed != cfg.seed:
-                cfg = dataclasses.replace(cfg, seed=spec.seed)
-        resiliency: dict = {}
-        if spec.wants_resiliency:
-            plan = (
-                FaultPlan.from_dict(spec.fault_plan)
-                if spec.fault_plan is not None
-                else None
-            )
-            rr, resiliency = run_resilient_experiment(
-                machine,
-                normalize_mode(spec.mode),
-                cfg,
-                fault_plan=plan,
-                mtbf_s=spec.mtbf_s,
-                ckpt_interval_s=spec.ckpt_interval_s,
-                fault_seed=spec.seed,
-                nodes_per_solver=spec.nodes_per_solver,
-                overlap=spec.overlap,
-                swap_placement=spec.swap_placement,
-                tracer=tracer,
-                load_balanced=spec.load_balanced,
-                imbalance_alpha=spec.imbalance_alpha,
-                runtime=runtime,
-            )
-        else:
-            rr = run_experiment(
-                machine,
-                normalize_mode(spec.mode),
-                cfg,
-                nodes_per_solver=spec.nodes_per_solver,
-                overlap=spec.overlap,
-                swap_placement=spec.swap_placement,
-                tracer=tracer,
-                load_balanced=spec.load_balanced,
-                imbalance_alpha=spec.imbalance_alpha,
-                runtime=runtime,
-            )
-        result = {
-            "app": "xpic",
-            "mode": rr.mode.value,
-            "nodes_per_solver": rr.nodes_per_solver,
-            "steps": rr.steps,
-            "total_runtime": rr.total_runtime,
-            "fields_time": rr.fields_time,
-            "particles_time": rr.particles_time,
-            "inter_module_comm_time": rr.inter_module_comm_time,
-            "comm_overhead_fraction": rr.comm_overhead_fraction,
-        }
-        return rr, result, resiliency
-
-    def _run_seismic(self, spec, machine, runtime):
-        sr = run_seismic(
-            machine,
-            SeismicPlacement(spec.mode),
-            steps=spec.steps,
-            nodes=spec.nodes_per_solver,
-            runtime=runtime,
-        )
-        result = {
-            "app": "seismic",
-            "mode": sr.placement.value,
-            "nodes_per_solver": sr.nodes,
-            "steps": sr.steps,
-            "total_runtime": sr.total_runtime,
-            "inter_module_comm_time": sr.comm_time,
-            "comm_overhead_fraction": sr.comm_fraction,
-        }
-        return sr, result

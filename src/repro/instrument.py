@@ -26,7 +26,7 @@ class MetricsHub:
 
     def __init__(
         self, sim=None, fabric=None, runtime=None, tracer=None, cache=None,
-        service=None, fleet=None,
+        service=None, fleet=None, malleable=None,
     ):
         self.sim = sim
         self.fabric = fabric
@@ -35,10 +35,11 @@ class MetricsHub:
         self.cache = cache
         self.service = service
         self.fleet = fleet
+        self.malleable = malleable
 
     def attach(
         self, sim=None, fabric=None, runtime=None, tracer=None, cache=None,
-        service=None, fleet=None,
+        service=None, fleet=None, malleable=None,
     ) -> "MetricsHub":
         """Attach (or replace) observed layers; returns self."""
         if sim is not None:
@@ -55,6 +56,8 @@ class MetricsHub:
             self.service = service
         if fleet is not None:
             self.fleet = fleet
+        if malleable is not None:
+            self.malleable = malleable
         return self
 
     # -- per-layer snapshots ----------------------------------------------
@@ -153,6 +156,14 @@ class MetricsHub:
             return {}
         return self.fleet.metrics_snapshot()
 
+    def malleability_metrics(self) -> dict:
+        """The malleable supervisor's report section (policy,
+        re-partition events, time-to-recover, post-fault throughput),
+        attached by the engine after a malleable run."""
+        if self.malleable is None:
+            return {}
+        return dict(self.malleable)
+
     def snapshot(self) -> dict:
         """One nested dict with every layer's metrics."""
         return {
@@ -163,4 +174,5 @@ class MetricsHub:
             "cache": self.cache_metrics(),
             "service": self.service_metrics(),
             "fleet": self.fleet_metrics(),
+            "malleability": self.malleability_metrics(),
         }

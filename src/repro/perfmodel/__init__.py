@@ -16,7 +16,9 @@ from .calibration import (
     solver_ratios,
 )
 from .kernels import AccessPattern, Kernel
-from .partition import PartitionEstimate, predict_partition_step
+from .partition import (
+    PartitionEstimate, predict_partition, predict_partition_step,
+)
 from .nodeperf import (
     THREAD_EFFICIENCY,
     VECTOR_EFFICIENCY,
@@ -43,6 +45,7 @@ __all__ = [
     "parallel_efficiency",
     "speedup",
     "PartitionEstimate",
+    "predict_partition",
     "predict_partition_step",
     "particle_kernel",
     "field_kernel",

@@ -24,7 +24,7 @@ from ..network.link import TOURMALET_LINK
 from .kernels import Kernel
 from .nodeperf import time_on_node
 
-__all__ = ["PartitionEstimate", "predict_partition_step"]
+__all__ = ["PartitionEstimate", "predict_partition", "predict_partition_step"]
 
 
 @dataclass(frozen=True)
@@ -94,4 +94,56 @@ def predict_partition_step(
         step = max(tf, tp) + tx
     return PartitionEstimate(
         field_s=tf, particle_s=tp, exchange_s=tx, step_s=step
+    )
+
+
+def predict_partition(
+    cluster_node: Optional[Node],
+    booster_node: Optional[Node],
+    partition,
+    kernels_for,
+    *,
+    exchange_bandwidth_bps: float = TOURMALET_LINK.bandwidth_bps,
+    exchange_latency_s: float = 5e-6,
+) -> PartitionEstimate:
+    """Recursively score a (possibly nested) :class:`~repro.partition.
+    Partition` on a machine.
+
+    ``kernels_for(ranks)`` supplies the per-rank workload at a given
+    solver width: it returns ``(field_kernel, particle_kernel,
+    exchange_nbytes)`` for a decomposition over ``ranks`` ranks, so the
+    model re-derives the kernels at whatever width each level of the
+    tree actually runs.
+
+    Flat partitions reduce to :func:`predict_partition_step` exactly as
+    before.  A nested homogeneous partition recurses into its arm: the
+    sub-split co-schedules the two solvers on same-kind nodes, so both
+    placement slots of the recursive call are the *same* node model and
+    the arm's ``overlap`` knob decides whether the interface exchange
+    hides behind compute.
+    """
+    arm = getattr(partition, "arm", None)
+    if arm is None:
+        field_k, particle_k, nbytes = kernels_for(partition.nodes_per_solver)
+        return predict_partition_step(
+            cluster_node if partition.cluster_nodes else None,
+            booster_node if partition.booster_nodes else None,
+            field_k,
+            particle_k,
+            exchange_nbytes=nbytes,
+            overlap=partition.overlap,
+            swap_placement=partition.swap_placement,
+            exchange_bandwidth_bps=exchange_bandwidth_bps,
+            exchange_latency_s=exchange_latency_s,
+        )
+    node = cluster_node if partition.cluster_nodes else booster_node
+    if node is None:
+        raise ValueError("no node model for the populated partition side")
+    return predict_partition(
+        node,
+        node,
+        arm,
+        kernels_for,
+        exchange_bandwidth_bps=exchange_bandwidth_bps,
+        exchange_latency_s=exchange_latency_s,
     )

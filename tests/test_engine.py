@@ -114,7 +114,7 @@ def test_run_report_json_round_trip(cb_report):
     assert d["schema"] == REPORT_SCHEMA
     assert set(d) == {
         "schema", "spec", "result", "sim", "network", "mpi",
-        "phases", "intervals", "resiliency",
+        "phases", "intervals", "resiliency", "malleability",
     }
 
 
